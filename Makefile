@@ -1,0 +1,38 @@
+# Standard developer entry points; everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments experiments-quick fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+# Short fuzz sessions over the input parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzWorkflowJSON -fuzztime=30s ./internal/workflow/
+	$(GO) test -fuzz=FuzzGraphJSON -fuzztime=30s ./internal/dag/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/dax/
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

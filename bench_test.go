@@ -1,0 +1,276 @@
+package medcc
+
+// One benchmark per table and figure of the paper's evaluation (the
+// experiment index of DESIGN.md §4), plus micro-benchmarks of the pieces
+// each experiment is assembled from. The per-experiment benches run the
+// same harness code as cmd/experiments with CI-sized instance counts, so
+// `go test -bench=. -benchmem` both times the pipeline and re-validates
+// that every experiment still completes.
+
+import (
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/dag"
+	"medcc/internal/exper"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/sim"
+	"medcc/internal/testbed"
+	"medcc/internal/workflow"
+	"medcc/internal/wrf"
+)
+
+// --- E2/E3: numerical example (Table II, Fig. 6) ---
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.TableII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4/E5: optimality studies (Table III, Fig. 7) ---
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.TableIII(exper.DefaultSeed, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig7(exper.DefaultSeed, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: Table IV / Fig. 8 ---
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.TableIV(exper.DefaultSeed, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7-E9: the Fig. 9/10/11 campaign ---
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := exper.Campaign(exper.DefaultSeed, 2, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exper.Fig9(cells)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := exper.Campaign(exper.DefaultSeed, 2, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exper.Fig10(cells)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Campaign(exper.DefaultSeed, 2, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: WRF testbed experiment (Table VII, Fig. 15) ---
+
+func BenchmarkTableVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.TableVII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exper.Fig15(rows)
+	}
+}
+
+// --- A1/A2: ablation and validation ---
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Ablation(exper.DefaultSeed, gen.ProblemSize{M: 20, E: 80, N: 5}, 2, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.SimValidation(exper.DefaultSeed, gen.ProblemSize{M: 20, E: 80, N: 5}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A3/A4/A5: extension experiments ---
+
+func BenchmarkProvisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Provisioning(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiCloud(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.MultiCloud(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Clustering(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTestbedCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.TestbedCapacity(exper.DefaultSeed, 8, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Adaptive(exper.DefaultSeed, gen.ProblemSize{M: 12, E: 25, N: 4}, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the underlying pieces ---
+
+func benchInstance(b *testing.B, size gen.ProblemSize) (*workflow.Workflow, *workflow.Matrices, float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w, cat, err := gen.Instance(rng, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmin, cmax := m.BudgetRange(w)
+	return w, m, (cmin + cmax) / 2
+}
+
+func benchScheduler(b *testing.B, name string, size gen.ProblemSize) {
+	b.Helper()
+	w, m, budget := benchInstance(b, size)
+	alg, err := sched.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Schedule(w, m, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCriticalGreedy20(b *testing.B) {
+	benchScheduler(b, "critical-greedy", gen.ProblemSize{M: 20, E: 80, N: 5})
+}
+
+func BenchmarkCriticalGreedy100(b *testing.B) {
+	benchScheduler(b, "critical-greedy", gen.ProblemSize{M: 100, E: 2344, N: 9})
+}
+
+func BenchmarkGAIN3_100(b *testing.B) {
+	benchScheduler(b, "gain3", gen.ProblemSize{M: 100, E: 2344, N: 9})
+}
+
+func BenchmarkGain3WRF100(b *testing.B) {
+	benchScheduler(b, "gain3-wrf", gen.ProblemSize{M: 100, E: 2344, N: 9})
+}
+
+func BenchmarkOptimal8(b *testing.B) {
+	benchScheduler(b, "optimal", gen.ProblemSize{M: 8, E: 18, N: 3})
+}
+
+func BenchmarkTimingPass100(b *testing.B) {
+	w, m, _ := benchInstance(b, gen.ProblemSize{M: 100, E: 2344, N: 9})
+	s := m.LeastCost(w)
+	times := m.Times(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dag.NewTiming(w.Graph(), times, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorReplay100(b *testing.B) {
+	w, m, budget := benchInstance(b, gen.ProblemSize{M: 100, E: 2344, N: 9})
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule, Bandwidth: 50, Delay: 0.001, BootTime: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTestbedWRF(b *testing.B) {
+	w := wrf.Grouped()
+	m := wrf.Matrices(w)
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, 186.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testbed.DefaultConfig()
+	cfg.BootTime = 30
+	cfg.RepoBandwidthGBps = 0.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testbed.Execute(cfg, w, m, res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateInstance100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gen.Instance(rng, gen.ProblemSize{M: 100, E: 2344, N: 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

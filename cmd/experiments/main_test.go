@@ -1,0 +1,53 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunQuickAll exercises the whole experiment pipeline end to end at CI
+// scale; the heavy paper-scale path is covered by cmd usage and benches.
+func TestRunQuickAll(t *testing.T) {
+	if err := run([]string{"-quick"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, only := range []string{
+		"tableII", "fig6", "tableIII", "fig7", "fig8",
+		"tableVII", "fig15", "provisioning", "multicloud", "clustering",
+	} {
+		if err := run([]string{"-quick", "-only", only}, io.Discard); err != nil {
+			t.Fatalf("%s: %v", only, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "tableIX"}, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	for _, only := range []string{"fig6", "tableVII"} {
+		if err := run([]string{"-quick", "-only", only, "-csvdir", dir}, io.Discard); err != nil {
+			t.Fatalf("%s: %v", only, err)
+		}
+	}
+	for _, f := range []string{"fig6.csv", "tableVII.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command wfgen emits random workflow instances and VM catalogs as JSON,
+// in the format cmd/medcc consumes.
+//
+// Usage:
+//
+//	wfgen -m 20 -e 80 -n 5 -seed 1 -out wf.json -catout cat.json
+//	wfgen -topology montage -width 8 -out wf.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/workflow"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wfgen", flag.ContinueOnError)
+	var (
+		m        = fs.Int("m", 20, "number of computing modules")
+		e        = fs.Int("e", 80, "number of dependency edges")
+		n        = fs.Int("n", 5, "number of VM types in the catalog")
+		seed     = fs.Int64("seed", 1, "random seed")
+		wlMin    = fs.Float64("wlmin", 100, "minimum module workload")
+		wlMax    = fs.Float64("wlmax", 1000, "maximum module workload")
+		topology = fs.String("topology", "random", "random | pipeline | forkjoin | layered | montage | cybershake | epigenomics")
+		width    = fs.Int("width", 8, "width for non-random topologies")
+		depth    = fs.Int("depth", 4, "depth for the layered topology")
+		out      = fs.String("out", "", "workflow output file (default stdout)")
+		catOut   = fs.String("catout", "", "catalog output file (omit to skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var w *workflow.Workflow
+	var err error
+	switch *topology {
+	case "random":
+		w, err = gen.Random(rng, gen.Params{
+			Modules: *m, Edges: *e,
+			WorkloadMin: *wlMin, WorkloadMax: *wlMax,
+			DataSizeMax: 10, AddEntryExit: true,
+		})
+		if err != nil {
+			return err
+		}
+	case "pipeline":
+		w = gen.Pipeline(rng, *m, *wlMin, *wlMax)
+	case "forkjoin":
+		w = gen.ForkJoin(rng, *width, *wlMin, *wlMax)
+	case "layered":
+		w = gen.Layered(rng, *depth, *width, *wlMin, *wlMax)
+	case "montage":
+		w = gen.MontageLike(rng, *width)
+	case "cybershake":
+		w = gen.CyberShakeLike(rng, *width)
+	case "epigenomics":
+		w = gen.EpigenomicsLike(rng, *width)
+	default:
+		return fmt.Errorf("unknown topology %q", *topology)
+	}
+
+	if err := writeJSON(*out, w); err != nil {
+		return err
+	}
+	if stats, err := w.ComputeStats(); err == nil {
+		fmt.Fprintf(os.Stderr, "generated %d modules (%d schedulable), %d edges, depth %d, width %d, CCR %.3f\n",
+			stats.Modules, stats.Schedulable, stats.Dependencies, stats.Depth, stats.Width, stats.CCR)
+	}
+	if *catOut != "" {
+		cat := cloud.DiminishingCatalog(*n, 3, 1, gen.SimulationGamma)
+		if err := writeJSON(*catOut, cat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

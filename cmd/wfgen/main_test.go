@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/workflow"
+)
+
+func TestRunTopologies(t *testing.T) {
+	dir := t.TempDir()
+	for _, topo := range []string{"random", "pipeline", "forkjoin", "layered", "montage", "cybershake", "epigenomics"} {
+		out := filepath.Join(dir, topo+".json")
+		catOut := filepath.Join(dir, topo+"-cat.json")
+		if err := run([]string{"-topology", topo, "-m", "8", "-e", "12", "-out", out, "-catout", catOut}); err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w workflow.Workflow
+		if err := json.Unmarshal(data, &w); err != nil {
+			t.Fatalf("%s produced invalid workflow: %v", topo, err)
+		}
+		catData, err := os.ReadFile(catOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cat cloud.Catalog
+		if err := json.Unmarshal(catData, &cat); err != nil {
+			t.Fatalf("%s produced invalid catalog: %v", topo, err)
+		}
+		if err := cat.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run([]string{"-topology", "torus"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	if err := run([]string{"-m", "5", "-e", "999"}); err == nil {
+		t.Fatal("impossible edge count accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Budgetsweep reproduces the paper's §V-B numerical example end to end:
+// the six-module workflow of Fig. 4 with the three VM types of Table I,
+// swept across every budget in [Cmin, Cmax] = [48, 64]. The output is the
+// Table II schedule staircase and the Fig. 6 MED-vs-budget series, plus a
+// discrete-event replay of one schedule as a sanity check.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"medcc"
+)
+
+func main() {
+	w, types := medcc.PaperExample()
+	cmin, cmax, err := medcc.BudgetRange(w, types, medcc.HourlyBilling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("numerical example: Cmin=%.0f (least-cost), Cmax=%.0f (fastest)\n\n", cmin, cmax)
+
+	fmt.Println("budget  cost  MED     mapping (w1..w6)")
+	var prev medcc.Schedule
+	for b := cmin; b <= cmax; b++ {
+		res, err := medcc.Solve(w, types, medcc.HourlyBilling, b, "critical-greedy")
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := " "
+		if prev == nil || !res.Schedule.Equal(prev) {
+			marker = "*" // schedule changed: a Table II breakpoint
+			prev = res.Schedule
+		}
+		fmt.Printf("%s %4.0f  %4.0f  %6.2f  ", marker, b, res.Cost, res.MED)
+		for i := 1; i <= 6; i++ {
+			fmt.Printf("VT%d ", res.Schedule[i]+1)
+		}
+		fmt.Println()
+	}
+
+	// Replay the B=57 schedule (the paper's walk-through budget) in the
+	// event simulator: with warm VMs and free transfers it must agree
+	// with the analytic model exactly.
+	res, err := medcc.Solve(w, types, medcc.HourlyBilling, 57, "critical-greedy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := medcc.Simulate(w, res, nil, 0, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nB=57 replay: analytic MED %.4f vs simulated %.4f (|diff| %.1e), cost %.0f\n",
+		res.MED, sim.Makespan, math.Abs(res.MED-sim.Makespan), sim.Cost)
+
+	// And with a 15-minute VM boot and finite storage bandwidth the
+	// simulator shows the overheads the analytic model abstracts away.
+	cold, err := medcc.Simulate(w, res, nil, 0.25, 4, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B=57 cold-start replay: makespan %.4f (+%.2f h of boot/transfer overhead)\n",
+		cold.Makespan, cold.Makespan-res.MED)
+}

@@ -1,0 +1,82 @@
+// Deadline demonstrates the dual problem: a weather-forecast-style
+// workflow that must finish before a broadcast deadline, scheduled for
+// minimum cost. Sweeping the deadline traces the delay/cost Pareto front
+// from the other side than examples/budgetsweep.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"medcc"
+)
+
+func main() {
+	// A forecast pipeline with a parallel ensemble stage: every member
+	// must complete before the postprocessing merge.
+	w := medcc.NewWorkflow()
+	ingest := w.AddModule(medcc.Module{Name: "ingest", Workload: 15})
+	prep := w.AddModule(medcc.Module{Name: "preprocess", Workload: 30})
+	must(w.AddDependency(ingest, prep, 4))
+	var members []int
+	for i := 1; i <= 4; i++ {
+		m := w.AddModule(medcc.Module{Name: fmt.Sprintf("ensemble%d", i), Workload: 120})
+		members = append(members, m)
+		must(w.AddDependency(prep, m, 2))
+	}
+	merge := w.AddModule(medcc.Module{Name: "merge", Workload: 45})
+	for _, m := range members {
+		must(w.AddDependency(m, merge, 3))
+	}
+	render := w.AddModule(medcc.Module{Name: "render", Workload: 10})
+	must(w.AddDependency(merge, render, 1))
+
+	types := medcc.Catalog{
+		{Name: "basic", Power: 10, Rate: 1},
+		{Name: "compute", Power: 30, Rate: 4},
+		{Name: "hpc", Power: 60, Rate: 9},
+	}
+
+	// The fastest possible makespan bounds which deadlines are at all
+	// achievable.
+	fastest, err := medcc.SolveDeadline(w, types, medcc.HourlyBilling, 1e18, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor, err := medcc.Solve(w, types, medcc.HourlyBilling, 1e18, "critical-greedy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("achievable makespans: fastest %.2f h; cheapest-possible run costs %.0f\n\n",
+		floor.MED, fastest.Cost)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "deadline (h)\tcost (greedy)\tcost (exact)\tmakespan")
+	for _, d := range []float64{floor.MED, floor.MED * 1.25, floor.MED * 1.75, floor.MED * 3} {
+		heur, err := medcc.SolveDeadline(w, types, medcc.HourlyBilling, d, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := medcc.SolveDeadline(w, types, medcc.HourlyBilling, d, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%.2f\t%.0f\t%.0f\t%.2f\n", d, heur.Cost, exact.Cost, exact.MED)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An impossible deadline is a typed error the caller can detect.
+	if _, err := medcc.SolveDeadline(w, types, medcc.HourlyBilling, 0.1, false); err != nil {
+		fmt.Printf("\n0.1 h deadline: %v\n", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

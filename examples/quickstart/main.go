@@ -1,0 +1,66 @@
+// Quickstart: schedule a small bioinformatics-style workflow under a
+// budget using the public medcc API, then tighten the budget and watch the
+// delay/cost trade-off move.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"medcc"
+)
+
+func main() {
+	// A four-stage variant-calling workflow: align fans out per sample,
+	// then a joint genotyping step gathers the results.
+	w := medcc.NewWorkflow()
+	qc := w.AddModule(medcc.Module{Name: "qc", Workload: 20})
+	var aligns []int
+	for i := 1; i <= 3; i++ {
+		a := w.AddModule(medcc.Module{Name: fmt.Sprintf("align%d", i), Workload: 90})
+		aligns = append(aligns, a)
+		must(w.AddDependency(qc, a, 5))
+	}
+	joint := w.AddModule(medcc.Module{Name: "genotype", Workload: 150})
+	for _, a := range aligns {
+		must(w.AddDependency(a, joint, 2))
+	}
+	report := w.AddModule(medcc.Module{Name: "report", Workload: 10})
+	must(w.AddDependency(joint, report, 1))
+
+	// Three instance sizes, priced per started hour.
+	types := medcc.Catalog{
+		{Name: "small", Power: 10, Rate: 1},
+		{Name: "medium", Power: 25, Rate: 3},
+		{Name: "large", Power: 45, Rate: 6},
+	}
+
+	cmin, cmax, err := medcc.BudgetRange(w, types, medcc.HourlyBilling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible budgets: [%.0f, %.0f]\n\n", cmin, cmax)
+
+	for _, budget := range []float64{cmin, (cmin + cmax) / 2, cmax} {
+		res, err := medcc.Solve(w, types, medcc.HourlyBilling, budget, "critical-greedy")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %.0f: end-to-end delay %.2f h, cost %.0f\n", budget, res.MED, res.Cost)
+		for i := 0; i < w.NumModules(); i++ {
+			fmt.Printf("  %-10s -> %s\n", w.Module(i).Name, types[res.Schedule[i]].Name)
+		}
+		// How many VMs do we actually need once intervals are packed?
+		plan, err := medcc.PlanReuse(w, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  provisioned VMs after reuse: %d (for %d modules)\n\n", plan.NumVMs(), w.NumModules())
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

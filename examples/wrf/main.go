@@ -1,0 +1,61 @@
+// WRF reproduces the paper's real-life experiment (§VI-C): the grouped
+// Weather Research and Forecasting workflow scheduled by Critical-Greedy
+// and GAIN3 at the six published budgets, then executed on the simulated
+// Nimbus testbed (4 VMM nodes behind a controller, with VM reuse).
+//
+// This example reaches into the repository's internal packages because it
+// reproduces a repo-specific experiment; see examples/quickstart for the
+// public-API path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"medcc/internal/exper"
+	"medcc/internal/sched"
+	"medcc/internal/testbed"
+	"medcc/internal/wrf"
+)
+
+func main() {
+	w := wrf.Grouped()
+	m := wrf.Matrices(w)
+	cmin, cmax := m.BudgetRange(w)
+	fmt.Printf("WRF grouped workflow: Cmin=%.1f Cmax=%.1f (paper: 125.9 / 243.6)\n\n", cmin, cmax)
+
+	rows, err := exper.TableVII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reproduced Table VII (testbed MED measured on the simulated Nimbus cloud):")
+	if err := exper.RenderTableVII(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\npublished Table VII rows for comparison:")
+	if err := exper.RenderTableVII(os.Stdout, exper.PublishedTableVII()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the testbed mechanics at one budget: cold VMs, image
+	// propagation from the repository, and per-host placement.
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, 186.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := testbed.DefaultConfig()
+	cfg.BootTime = 30
+	cfg.RepoBandwidthGBps = 0.2 // 34 s to push the 6.8 GB image
+	dep, err := testbed.Execute(cfg, w, m, res.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncold-start run at B=186.2: makespan %.1f s (warm: %.1f s), cost %.1f\n",
+		dep.Makespan, res.MED, dep.Cost)
+	for v, vm := range dep.VMs {
+		fmt.Printf("  VM %d type VT%d on VMM %d: placed %.1f, ready %.1f, stopped %.1f, modules %v\n",
+			v, vm.Type+1, vm.Host, vm.Placed, vm.Ready, vm.Stopped, vm.Modules)
+	}
+}

@@ -1,0 +1,43 @@
+package medcc_test
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end via the Go
+// toolchain, asserting each exits cleanly and produces output. Skipped
+// under -short (it compiles and runs six example binaries).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in -short mode")
+	}
+	examples := []string{"quickstart", "budgetsweep", "montage", "wrf", "deadline", "adaptive"}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("%s timed out", ex)
+			}
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", ex)
+			}
+		})
+	}
+}

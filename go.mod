@@ -1,0 +1,3 @@
+module medcc
+
+go 1.22

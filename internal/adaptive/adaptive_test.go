@@ -1,0 +1,181 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+func exampleConfig(budget float64) Config {
+	w, cat := workflow.PaperExample()
+	return Config{
+		Workflow: w,
+		Catalog:  cat,
+		Billing:  cloud.HourlyRoundUp,
+		Budget:   budget,
+	}
+}
+
+func TestNoNoiseMatchesAnalytic(t *testing.T) {
+	cfg := exampleConfig(57)
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic CG result at B=57: MED 5.9333, cost 56.
+	if math.Abs(out.Makespan-(2+59.0/15)) > 1e-9 {
+		t.Fatalf("makespan %v", out.Makespan)
+	}
+	if math.Abs(out.Cost-56) > 1e-9 || out.Overspend != 0 {
+		t.Fatalf("cost %v overspend %v", out.Cost, out.Overspend)
+	}
+	// Replanning without noise must change nothing.
+	cfg.Replan = true
+	out2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out2.Makespan-out.Makespan) > 1e-9 || math.Abs(out2.Cost-out.Cost) > 1e-9 {
+		t.Fatalf("replanning changed a noise-free run: %+v vs %+v", out2, out)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := exampleConfig(57)
+	cfg.Perturb = Uniform(0.2, 0.5)
+	cfg.Seed = 9
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Cost != b.Cost {
+		t.Fatal("same seed, different outcomes")
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	cfg := exampleConfig(10)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("infeasible budget accepted")
+	}
+}
+
+func TestNegativePerturbRejected(t *testing.T) {
+	cfg := exampleConfig(57)
+	cfg.Perturb = func(rng *rand.Rand, _ int, est float64) float64 { return -1 }
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative actual duration accepted")
+	}
+}
+
+func TestOptimisticNoiseLowersCost(t *testing.T) {
+	// Everything runs 40% faster than estimated: the actual bill must
+	// be at most the plan, with no overspend.
+	cfg := exampleConfig(57)
+	cfg.Perturb = func(rng *rand.Rand, _ int, est float64) float64 { return est * 0.6 }
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cost > 56 || out.Overspend != 0 {
+		t.Fatalf("optimistic run billed %v", out.Cost)
+	}
+}
+
+// TestReplanningReducesOverspend is the headline robustness property:
+// under pessimistic noise, re-planning after each completion adapts the
+// remaining modules to the budget actually left, so across many seeds the
+// adaptive runs overspend no more than the static ones on average.
+func TestReplanningReducesOverspend(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var staticOver, adaptiveOver float64
+	var staticMk, adaptiveMk float64
+	runs := 0
+	for trial := 0; trial < 8; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 12, E: 25, N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		budget := (cmin + cmax) / 2
+		for seed := int64(0); seed < 5; seed++ {
+			base := Config{
+				Workflow: wf, Catalog: cat, Billing: cloud.HourlyRoundUp,
+				Budget: budget, Perturb: Uniform(0.1, 0.6), Seed: seed,
+			}
+			st, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base.Replan = true
+			ad, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			staticOver += st.Overspend
+			adaptiveOver += ad.Overspend
+			staticMk += st.Makespan
+			adaptiveMk += ad.Makespan
+			runs++
+		}
+	}
+	t.Logf("avg overspend static %.2f vs adaptive %.2f; avg makespan %.2f vs %.2f",
+		staticOver/float64(runs), adaptiveOver/float64(runs),
+		staticMk/float64(runs), adaptiveMk/float64(runs))
+	if adaptiveOver > staticOver {
+		t.Fatalf("adaptive overspend %.2f above static %.2f", adaptiveOver/float64(runs), staticOver/float64(runs))
+	}
+}
+
+func TestReplansCountedUnderNoise(t *testing.T) {
+	cfg := exampleConfig(57)
+	cfg.Perturb = Uniform(0.3, 0.8)
+	cfg.Seed = 3
+	cfg.Replan = true
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Replans == 0 {
+		t.Log("no replan changed the schedule on this seed — acceptable but unusual")
+	}
+	if err := cfg.Workflow.ValidateSchedule(out.Final, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveAgainstScheduledBaseline(t *testing.T) {
+	// Sanity: the engine's no-noise makespan equals the analytic
+	// makespan of the same schedule on random instances.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 9, E: 15, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := (cmin + cmax) / 2
+		res, err := sched.Run(sched.CriticalGreedy(), wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(Config{Workflow: wf, Catalog: cat, Billing: cloud.HourlyRoundUp, Budget: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out.Makespan-res.MED) > 1e-9 || math.Abs(out.Cost-res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: engine %+v vs analytic %v/%v", trial, out, res.MED, res.Cost)
+		}
+	}
+}

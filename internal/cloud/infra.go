@@ -1,0 +1,218 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Host is one physical computer node c_i in the cloud infrastructure graph
+// G_c with a processing power PP_i and a number of VM slots (how many VMs
+// the virtualization layer will co-locate on it).
+type Host struct {
+	Name  string
+	Power float64
+	Slots int
+}
+
+// Link is an undirected physical network link with a bandwidth (data units
+// per time unit) and a propagation delay.
+type Link struct {
+	Bandwidth float64
+	Delay     float64
+}
+
+// Infrastructure is the cloud infrastructure layer: physical hosts joined
+// by weighted links. The zero value is empty and ready to use. Absent links
+// mean no direct connectivity; bandwidth queries then fall back to the
+// shortest (max-bottleneck) path.
+type Infrastructure struct {
+	hosts []Host
+	links map[[2]int]Link
+}
+
+// NewInfrastructure returns an empty infrastructure graph.
+func NewInfrastructure() *Infrastructure {
+	return &Infrastructure{links: make(map[[2]int]Link)}
+}
+
+// AddHost appends a physical host and returns its index.
+func (in *Infrastructure) AddHost(h Host) int {
+	in.hosts = append(in.hosts, h)
+	return len(in.hosts) - 1
+}
+
+// NumHosts returns the host count.
+func (in *Infrastructure) NumHosts() int { return len(in.hosts) }
+
+// Host returns host i.
+func (in *Infrastructure) Host(i int) Host { return in.hosts[i] }
+
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Connect installs an undirected link between hosts a and b.
+func (in *Infrastructure) Connect(a, b int, l Link) error {
+	if a < 0 || a >= len(in.hosts) || b < 0 || b >= len(in.hosts) {
+		return fmt.Errorf("cloud: link (%d,%d) out of range", a, b)
+	}
+	if a == b {
+		return errors.New("cloud: self link")
+	}
+	if !(l.Bandwidth > 0) {
+		return fmt.Errorf("cloud: non-positive bandwidth %v", l.Bandwidth)
+	}
+	if l.Delay < 0 {
+		return fmt.Errorf("cloud: negative delay %v", l.Delay)
+	}
+	in.links[linkKey(a, b)] = l
+	return nil
+}
+
+// Star wires every host to host center with identical links — the typical
+// single-datacenter topology (one shared switch / storage fabric).
+func (in *Infrastructure) Star(center int, l Link) error {
+	for i := range in.hosts {
+		if i == center {
+			continue
+		}
+		if err := in.Connect(center, i, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Path describes the effective connection between two hosts: the bottleneck
+// bandwidth and the accumulated delay along the widest path.
+type Path struct {
+	Bandwidth float64
+	Delay     float64
+}
+
+// PathBetween returns the maximum-bottleneck-bandwidth path between hosts a
+// and b (ties broken by smaller delay), or ok=false if disconnected.
+// Co-located endpoints (a == b) return infinite bandwidth and zero delay:
+// transfers within one host cross shared memory, not the network.
+func (in *Infrastructure) PathBetween(a, b int) (Path, bool) {
+	if a == b {
+		return Path{Bandwidth: math.Inf(1), Delay: 0}, true
+	}
+	n := len(in.hosts)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return Path{}, false
+	}
+	// Modified Dijkstra maximizing bottleneck bandwidth; n is tiny
+	// (physical testbeds have a handful of hosts) so O(n^2) is fine.
+	bw := make([]float64, n)
+	delay := make([]float64, n)
+	done := make([]bool, n)
+	for i := range bw {
+		bw[i] = 0
+		delay[i] = math.Inf(1)
+	}
+	bw[a] = math.Inf(1)
+	delay[a] = 0
+	for {
+		u := -1
+		for i := 0; i < n; i++ {
+			if done[i] || bw[i] == 0 {
+				continue
+			}
+			if u == -1 || bw[i] > bw[u] || (bw[i] == bw[u] && delay[i] < delay[u]) {
+				u = i
+			}
+		}
+		if u == -1 {
+			break
+		}
+		if u == b {
+			return Path{Bandwidth: bw[b], Delay: delay[b]}, true
+		}
+		done[u] = true
+		for v := 0; v < n; v++ {
+			l, ok := in.links[linkKey(u, v)]
+			if !ok || done[v] {
+				continue
+			}
+			nb := math.Min(bw[u], l.Bandwidth)
+			nd := delay[u] + l.Delay
+			if nb > bw[v] || (nb == bw[v] && nd < delay[v]) {
+				bw[v] = nb
+				delay[v] = nd
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// TransferTime returns T(R_ij) = DS/BW' + d' between two hosts (Eq. 5), or
+// an error if they are disconnected.
+func (in *Infrastructure) TransferTime(a, b int, dataSize float64) (float64, error) {
+	p, ok := in.PathBetween(a, b)
+	if !ok {
+		return 0, fmt.Errorf("cloud: hosts %d and %d are disconnected", a, b)
+	}
+	if math.IsInf(p.Bandwidth, 1) {
+		return 0, nil
+	}
+	return dataSize/p.Bandwidth + p.Delay, nil
+}
+
+// Placement maps VM index -> host index, building the fully connected
+// virtual resource graph G'_c whose link properties are functions of the
+// physical paths between the provisioning hosts.
+type Placement struct {
+	infra *Infrastructure
+	hosts []int // VM -> host
+}
+
+// NewPlacement creates a placement of nvm VMs, all initially unassigned.
+func NewPlacement(in *Infrastructure, nvm int) *Placement {
+	p := &Placement{infra: in, hosts: make([]int, nvm)}
+	for i := range p.hosts {
+		p.hosts[i] = -1
+	}
+	return p
+}
+
+// Assign places VM v on host h, respecting host slot capacity.
+func (p *Placement) Assign(v, h int) error {
+	if v < 0 || v >= len(p.hosts) {
+		return fmt.Errorf("cloud: VM index %d out of range", v)
+	}
+	if h < 0 || h >= p.infra.NumHosts() {
+		return fmt.Errorf("cloud: host index %d out of range", h)
+	}
+	slots := p.infra.Host(h).Slots
+	if slots > 0 {
+		used := 0
+		for _, hh := range p.hosts {
+			if hh == h {
+				used++
+			}
+		}
+		if used >= slots {
+			return fmt.Errorf("cloud: host %d full (%d slots)", h, slots)
+		}
+	}
+	p.hosts[v] = h
+	return nil
+}
+
+// HostOf returns the host of VM v, or -1.
+func (p *Placement) HostOf(v int) int { return p.hosts[v] }
+
+// VirtualTransferTime returns the data transfer time between two VMs under
+// the current placement. Unassigned VMs are an error.
+func (p *Placement) VirtualTransferTime(a, b int, dataSize float64) (float64, error) {
+	ha, hb := p.hosts[a], p.hosts[b]
+	if ha < 0 || hb < 0 {
+		return 0, fmt.Errorf("cloud: VM %d or %d unplaced", a, b)
+	}
+	return p.infra.TransferTime(ha, hb, dataSize)
+}

@@ -1,0 +1,162 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+// testbed5 builds the paper-style 5-host private cloud: one controller in
+// the middle of a star, four VMM nodes.
+func testbed5(t *testing.T) *Infrastructure {
+	t.Helper()
+	in := NewInfrastructure()
+	in.AddHost(Host{Name: "controller", Power: 10, Slots: 0})
+	for i := 0; i < 4; i++ {
+		in.AddHost(Host{Name: "vmm", Power: 10, Slots: 2})
+	}
+	if err := in.Star(0, Link{Bandwidth: 100, Delay: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestConnectValidation(t *testing.T) {
+	in := NewInfrastructure()
+	a := in.AddHost(Host{Name: "a"})
+	b := in.AddHost(Host{Name: "b"})
+	if err := in.Connect(a, a, Link{Bandwidth: 1}); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if err := in.Connect(a, 9, Link{Bandwidth: 1}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := in.Connect(a, b, Link{Bandwidth: 0}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if err := in.Connect(a, b, Link{Bandwidth: 1, Delay: -1}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if err := in.Connect(a, b, Link{Bandwidth: 10, Delay: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathBetweenStar(t *testing.T) {
+	in := testbed5(t)
+	p, ok := in.PathBetween(1, 2)
+	if !ok {
+		t.Fatal("star hosts disconnected")
+	}
+	if p.Bandwidth != 100 {
+		t.Fatalf("bottleneck = %v, want 100", p.Bandwidth)
+	}
+	if math.Abs(p.Delay-0.002) > 1e-12 {
+		t.Fatalf("delay = %v, want 0.002 (two hops)", p.Delay)
+	}
+}
+
+func TestPathBetweenSameHost(t *testing.T) {
+	in := testbed5(t)
+	p, ok := in.PathBetween(3, 3)
+	if !ok || !math.IsInf(p.Bandwidth, 1) || p.Delay != 0 {
+		t.Fatalf("same-host path = %+v ok=%v", p, ok)
+	}
+	d, err := in.TransferTime(3, 3, 1e9)
+	if err != nil || d != 0 {
+		t.Fatalf("same-host transfer = %v, %v", d, err)
+	}
+}
+
+func TestPathPrefersWiderRoute(t *testing.T) {
+	// a - b (bw 10), a - c - b (bw 50 each hop, more delay): widest path
+	// must go through c.
+	in := NewInfrastructure()
+	a := in.AddHost(Host{Name: "a"})
+	b := in.AddHost(Host{Name: "b"})
+	c := in.AddHost(Host{Name: "c"})
+	_ = in.Connect(a, b, Link{Bandwidth: 10, Delay: 0})
+	_ = in.Connect(a, c, Link{Bandwidth: 50, Delay: 1})
+	_ = in.Connect(c, b, Link{Bandwidth: 50, Delay: 1})
+	p, ok := in.PathBetween(a, b)
+	if !ok || p.Bandwidth != 50 || p.Delay != 2 {
+		t.Fatalf("path = %+v ok=%v, want bw 50 delay 2", p, ok)
+	}
+}
+
+func TestDisconnectedHosts(t *testing.T) {
+	in := NewInfrastructure()
+	a := in.AddHost(Host{Name: "a"})
+	b := in.AddHost(Host{Name: "b"})
+	if _, ok := in.PathBetween(a, b); ok {
+		t.Fatal("disconnected hosts reported connected")
+	}
+	if _, err := in.TransferTime(a, b, 1); err == nil {
+		t.Fatal("transfer between disconnected hosts succeeded")
+	}
+}
+
+func TestTransferTimeFormula(t *testing.T) {
+	in := NewInfrastructure()
+	a := in.AddHost(Host{Name: "a"})
+	b := in.AddHost(Host{Name: "b"})
+	_ = in.Connect(a, b, Link{Bandwidth: 4, Delay: 0.5})
+	got, err := in.TransferTime(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3.0) > 1e-12 { // 10/4 + 0.5
+		t.Fatalf("transfer time = %v, want 3", got)
+	}
+}
+
+func TestPlacementSlots(t *testing.T) {
+	in := testbed5(t)
+	p := NewPlacement(in, 3)
+	if p.HostOf(0) != -1 {
+		t.Fatal("fresh placement not unassigned")
+	}
+	if err := p.Assign(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Assign(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Assign(2, 1); err == nil {
+		t.Fatal("third VM on a 2-slot host accepted")
+	}
+	if err := p.Assign(2, 0); err != nil {
+		t.Fatalf("unlimited-slot host rejected: %v", err)
+	}
+	if err := p.Assign(9, 1); err == nil {
+		t.Fatal("out-of-range VM accepted")
+	}
+	if err := p.Assign(0, 9); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+}
+
+func TestVirtualTransferTime(t *testing.T) {
+	in := testbed5(t)
+	p := NewPlacement(in, 2)
+	if _, err := p.VirtualTransferTime(0, 1, 10); err == nil {
+		t.Fatal("transfer between unplaced VMs succeeded")
+	}
+	_ = p.Assign(0, 1)
+	_ = p.Assign(1, 2)
+	got, err := p.VirtualTransferTime(0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0/100 + 0.002
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("virtual transfer = %v, want %v", got, want)
+	}
+	// Same host: zero.
+	p2 := NewPlacement(in, 2)
+	_ = p2.Assign(0, 3)
+	_ = p2.Assign(1, 3)
+	got, err = p2.VirtualTransferTime(0, 1, 1e12)
+	if err != nil || got != 0 {
+		t.Fatalf("co-located transfer = %v, %v", got, err)
+	}
+}

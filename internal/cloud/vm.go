@@ -1,0 +1,110 @@
+package cloud
+
+import "fmt"
+
+// VMState is the lifecycle state of a provisioned VM instance.
+type VMState int
+
+// Lifecycle states, in order. Transitions only move forward:
+// Requested -> Booting -> Running -> Terminated.
+const (
+	Requested VMState = iota
+	Booting
+	Running
+	Terminated
+)
+
+// String implements fmt.Stringer.
+func (s VMState) String() string {
+	switch s {
+	case Requested:
+		return "requested"
+	case Booting:
+		return "booting"
+	case Running:
+		return "running"
+	case Terminated:
+		return "terminated"
+	}
+	return fmt.Sprintf("VMState(%d)", int(s))
+}
+
+// VM is one provisioned virtual machine instance with a billing meter.
+// Time is virtual and supplied by the caller (a simulator clock); the VM
+// only validates ordering and accumulates billable occupancy, which runs
+// from the start of boot until termination — the paper's T_ij "spans from
+// the initialization of VM_j to the end of output data transfer".
+type VM struct {
+	ID    int
+	Type  VMType
+	Host  int // index of the physical host, -1 if unplaced
+	state VMState
+
+	bootStart float64
+	readyAt   float64
+	stoppedAt float64
+}
+
+// NewVM returns a VM in the Requested state, unplaced.
+func NewVM(id int, vt VMType) *VM {
+	return &VM{ID: id, Type: vt, Host: -1, state: Requested}
+}
+
+// State returns the current lifecycle state.
+func (v *VM) State() VMState { return v.state }
+
+// Boot moves Requested -> Booting at virtual time now.
+func (v *VM) Boot(now float64) error {
+	if v.state != Requested {
+		return fmt.Errorf("cloud: VM %d Boot in state %v", v.ID, v.state)
+	}
+	v.state = Booting
+	v.bootStart = now
+	return nil
+}
+
+// Ready moves Booting -> Running at virtual time now (>= boot start).
+func (v *VM) Ready(now float64) error {
+	if v.state != Booting {
+		return fmt.Errorf("cloud: VM %d Ready in state %v", v.ID, v.state)
+	}
+	if now < v.bootStart {
+		return fmt.Errorf("cloud: VM %d ready at %v before boot at %v", v.ID, now, v.bootStart)
+	}
+	v.state = Running
+	v.readyAt = now
+	return nil
+}
+
+// Terminate moves Running -> Terminated at virtual time now (>= ready).
+func (v *VM) Terminate(now float64) error {
+	if v.state != Running {
+		return fmt.Errorf("cloud: VM %d Terminate in state %v", v.ID, v.state)
+	}
+	if now < v.readyAt {
+		return fmt.Errorf("cloud: VM %d terminated at %v before ready at %v", v.ID, now, v.readyAt)
+	}
+	v.state = Terminated
+	v.stoppedAt = now
+	return nil
+}
+
+// ReadyAt returns the virtual time the VM entered Running; zero until then.
+func (v *VM) ReadyAt() float64 { return v.readyAt }
+
+// Occupancy returns the billable duration: boot start to termination. It
+// is only meaningful once the VM is Terminated.
+func (v *VM) Occupancy() float64 {
+	if v.state != Terminated {
+		return 0
+	}
+	return v.stoppedAt - v.bootStart
+}
+
+// Cost returns the billed cost of the (terminated) VM under policy p.
+func (v *VM) Cost(p BillingPolicy) float64 {
+	if v.state != Terminated {
+		return 0
+	}
+	return p.BilledTime(v.Occupancy()) * v.Type.Rate
+}

@@ -1,0 +1,90 @@
+package cloud
+
+import "testing"
+
+func TestVMLifecycleHappyPath(t *testing.T) {
+	vm := NewVM(1, VMType{Name: "VT1", Power: 3, Rate: 0.1})
+	if vm.State() != Requested {
+		t.Fatalf("initial state %v", vm.State())
+	}
+	if err := vm.Boot(10); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != Booting {
+		t.Fatalf("state after Boot %v", vm.State())
+	}
+	if err := vm.Ready(12); err != nil {
+		t.Fatal(err)
+	}
+	if vm.ReadyAt() != 12 {
+		t.Fatalf("ReadyAt = %v", vm.ReadyAt())
+	}
+	if err := vm.Terminate(30.5); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != Terminated {
+		t.Fatalf("state after Terminate %v", vm.State())
+	}
+	if got := vm.Occupancy(); got != 20.5 {
+		t.Fatalf("Occupancy = %v, want 20.5 (boot to stop)", got)
+	}
+	// 20.5 rounds to 21 billed units at rate 0.1.
+	if got := vm.Cost(HourlyRoundUp); got != 2.1 {
+		t.Fatalf("Cost = %v, want 2.1", got)
+	}
+}
+
+func TestVMLifecycleRejectsBadTransitions(t *testing.T) {
+	vm := NewVM(0, VMType{Name: "x", Power: 1, Rate: 1})
+	if err := vm.Ready(0); err == nil {
+		t.Fatal("Ready before Boot accepted")
+	}
+	if err := vm.Terminate(0); err == nil {
+		t.Fatal("Terminate before Boot accepted")
+	}
+	if err := vm.Boot(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Boot(6); err == nil {
+		t.Fatal("double Boot accepted")
+	}
+	if err := vm.Ready(4); err == nil {
+		t.Fatal("Ready before boot time accepted")
+	}
+	if err := vm.Ready(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Terminate(5); err == nil {
+		t.Fatal("Terminate before ready time accepted")
+	}
+	if err := vm.Terminate(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Terminate(8); err == nil {
+		t.Fatal("double Terminate accepted")
+	}
+}
+
+func TestVMCostZeroUntilTerminated(t *testing.T) {
+	vm := NewVM(0, VMType{Name: "x", Power: 1, Rate: 5})
+	if vm.Cost(HourlyRoundUp) != 0 || vm.Occupancy() != 0 {
+		t.Fatal("unterminated VM reported cost/occupancy")
+	}
+	_ = vm.Boot(0)
+	_ = vm.Ready(1)
+	if vm.Cost(HourlyRoundUp) != 0 {
+		t.Fatal("running VM reported cost")
+	}
+}
+
+func TestVMStateString(t *testing.T) {
+	want := map[VMState]string{Requested: "requested", Booting: "booting", Running: "running", Terminated: "terminated"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if VMState(99).String() != "VMState(99)" {
+		t.Errorf("unknown state string = %q", VMState(99).String())
+	}
+}

@@ -1,0 +1,347 @@
+// Package dag provides a directed acyclic graph substrate for workflow
+// scheduling: construction, validation, topological ordering, and the
+// forward/backward timing passes (EST/EFT/LST/LFT) from which critical
+// paths and module slack are derived.
+//
+// A Graph stores pure structure (nodes and edges). Weights are supplied at
+// analysis time, because in budget-constrained scheduling the node weights
+// (module execution times) change every time a module is remapped to a
+// different VM type while the structure stays fixed.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCycle is returned by Validate and TopoOrder when the graph contains a
+// directed cycle and is therefore not a DAG.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// Graph is a directed graph intended to be acyclic. The zero value is an
+// empty graph ready to use. Nodes are dense integer indices assigned by
+// AddNode in insertion order; edges are unweighted at the structural level.
+type Graph struct {
+	names []string
+	succ  [][]int
+	pred  [][]int
+	edges int
+}
+
+// New returns an empty graph. Equivalent to new(Graph); provided for
+// symmetry with the rest of the module.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node with the given display name and returns its index.
+func (g *Graph) AddNode(name string) int {
+	g.names = append(g.names, name)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return len(g.names) - 1
+}
+
+// AddNodes appends n anonymous nodes named "w0".."w<n-1>" (offset by the
+// current node count) and returns the index of the first one.
+func (g *Graph) AddNodes(n int) int {
+	first := len(g.names)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("w%d", first+i))
+	}
+	return first
+}
+
+// AddEdge inserts a directed edge u -> v. Self-loops and duplicate edges
+// are rejected; out-of-range indices are an error. Cycles are not detected
+// here (that is Validate's job) so construction stays O(1) amortized.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.names) || v < 0 || v >= len(g.names) {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, len(g.names))
+	}
+	if u == v {
+		return fmt.Errorf("dag: self-loop on node %d", u)
+	}
+	for _, s := range g.succ[u] {
+		if s == v {
+			return fmt.Errorf("dag: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.edges++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; for hand-built test fixtures.
+func (g *Graph) MustEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the directed edge u -> v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.names) {
+		return false
+	}
+	for _, s := range g.succ[u] {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Name returns the display name of node i.
+func (g *Graph) Name(i int) string { return g.names[i] }
+
+// SetName replaces the display name of node i.
+func (g *Graph) SetName(i int, name string) { g.names[i] = name }
+
+// Succ returns the successor list of node i. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Succ(i int) []int { return g.succ[i] }
+
+// Pred returns the predecessor list of node i. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Pred(i int) []int { return g.pred[i] }
+
+// InDegree returns the number of incoming edges of node i.
+func (g *Graph) InDegree(i int) int { return len(g.pred[i]) }
+
+// OutDegree returns the number of outgoing edges of node i.
+func (g *Graph) OutDegree(i int) int { return len(g.succ[i]) }
+
+// Sources returns all nodes with no predecessors, in index order.
+func (g *Graph) Sources() []int {
+	var out []int
+	for i := range g.names {
+		if len(g.pred[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sinks returns all nodes with no successors, in index order.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for i := range g.names {
+		if len(g.succ[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a topological ordering via Kahn's algorithm, or ErrCycle
+// if none exists. Among ready nodes the lowest index is taken first, so the
+// ordering is deterministic.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.names)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	// A sorted ready set keeps the order deterministic; n is small enough
+	// in workflow scheduling (<= a few thousand modules) that a simple
+	// re-sorted slice beats a heap in clarity and is fast in practice.
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks that the graph is acyclic.
+func (g *Graph) Validate() error {
+	_, err := g.TopoOrder()
+	return err
+}
+
+// FindCycle returns one directed cycle as a node sequence (first == last),
+// or nil if the graph is acyclic.
+func (g *Graph) FindCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	n := len(g.names)
+	color := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Back edge u -> v closes a cycle v ... u v.
+				cycle = []int{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				cycle = append(cycle, v)
+				// Reverse to forward order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if color[i] == white && dfs(i) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Reachable reports whether v is reachable from u by directed edges.
+func (g *Graph) Reachable(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, len(g.names))
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succ[x] {
+			if s == v {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		names: append([]string(nil), g.names...),
+		succ:  make([][]int, len(g.succ)),
+		pred:  make([][]int, len(g.pred)),
+		edges: g.edges,
+	}
+	for i := range g.succ {
+		c.succ[i] = append([]int(nil), g.succ[i]...)
+		c.pred[i] = append([]int(nil), g.pred[i]...)
+	}
+	return c
+}
+
+// TransitiveReduction returns a new graph with every edge (u,v) removed for
+// which an alternative directed path u -> ... -> v exists. The input must be
+// acyclic. Useful for canonicalizing generated workflows before comparison.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.names)
+	pos := make([]int, n)
+	for i, u := range order {
+		pos[u] = i
+	}
+	out := &Graph{
+		names: append([]string(nil), g.names...),
+		succ:  make([][]int, n),
+		pred:  make([][]int, n),
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.succ[u] {
+			if !g.longerPathExists(u, v, pos) {
+				out.succ[u] = append(out.succ[u], v)
+				out.pred[v] = append(out.pred[v], u)
+				out.edges++
+			}
+		}
+	}
+	return out, nil
+}
+
+// longerPathExists reports whether v is reachable from u by a path of at
+// least two edges, using topological positions to prune the search.
+func (g *Graph) longerPathExists(u, v int, pos []int) bool {
+	seen := make(map[int]bool)
+	var stack []int
+	for _, s := range g.succ[u] {
+		if s != v && pos[s] < pos[v] {
+			stack = append(stack, s)
+			seen[s] = true
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succ[x] {
+			if s == v {
+				return true
+			}
+			if !seen[s] && pos[s] < pos[v] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// DOT renders the graph in Graphviz dot syntax, one node per index with its
+// display name as the label.
+func (g *Graph) DOT() string {
+	var b []byte
+	b = append(b, "digraph workflow {\n"...)
+	for i, name := range g.names {
+		b = append(b, fmt.Sprintf("  n%d [label=%q];\n", i, name)...)
+	}
+	for u := range g.succ {
+		for _, v := range g.succ[u] {
+			b = append(b, fmt.Sprintf("  n%d -> n%d;\n", u, v)...)
+		}
+	}
+	b = append(b, '}', '\n')
+	return string(b)
+}

@@ -1,0 +1,46 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON checks the graph loader never panics and that accepted
+// graphs are structurally consistent.
+func FuzzGraphJSON(f *testing.F) {
+	seeds := []string{
+		`{"nodes":["a","b"],"edges":[[0,1]]}`,
+		`{"nodes":[],"edges":[]}`,
+		`{"nodes":["a"],"edges":[[0,0]]}`,
+		`{"nodes":["a","b","c"],"edges":[[0,1],[1,2],[2,0]]}`,
+		`{"nodes":["a","b"],"edges":[[0,1],[0,1]]}`,
+		`{"nodes":["a"],"edges":[[0,5]]}`,
+		`[1,2,3]`,
+		`{"nodes":["a","b"],"edges":[[-1,0]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		// Degree bookkeeping must be consistent.
+		inSum, outSum := 0, 0
+		for i := 0; i < g.NumNodes(); i++ {
+			inSum += g.InDegree(i)
+			outSum += g.OutDegree(i)
+		}
+		if inSum != g.NumEdges() || outSum != g.NumEdges() {
+			t.Fatalf("degree sums %d/%d disagree with %d edges", inSum, outSum, g.NumEdges())
+		}
+		// TopoOrder either works or reports a cycle; FindCycle must
+		// agree with it.
+		_, topoErr := g.TopoOrder()
+		cycle := g.FindCycle()
+		if (topoErr == nil) != (cycle == nil) {
+			t.Fatalf("TopoOrder err=%v but FindCycle=%v", topoErr, cycle)
+		}
+	})
+}

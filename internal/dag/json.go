@@ -1,0 +1,49 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the stable on-disk form of a Graph: node names in index
+// order plus an edge list. Predecessor lists are reconstructed on load.
+type graphJSON struct {
+	Nodes []string `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": [...], "edges": [[u,v], ...]}
+// with edges emitted in (source index, insertion) order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	j := graphJSON{Nodes: g.names, Edges: make([][2]int, 0, g.edges)}
+	if j.Nodes == nil {
+		j.Nodes = []string{}
+	}
+	for u := range g.succ {
+		for _, v := range g.succ[u] {
+			j.Edges = append(j.Edges, [2]int{u, v})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the format produced by MarshalJSON, validating
+// edge endpoints and rejecting duplicates and self-loops. The resulting
+// graph is not checked for acyclicity here; call Validate if needed.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var j graphJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("dag: decode: %w", err)
+	}
+	ng := New()
+	for _, name := range j.Nodes {
+		ng.AddNode(name)
+	}
+	for _, e := range j.Edges {
+		if err := ng.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	*g = *ng
+	return nil
+}

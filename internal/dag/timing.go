@@ -1,0 +1,172 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used when comparing floating-point times for
+// criticality decisions. Workflow times in this module are sums of short
+// chains of divisions, so 1e-9 is comfortably below any meaningful
+// difference and above accumulated rounding error.
+const Eps = 1e-9
+
+// EdgeWeight returns the weight (transfer time) of edge u -> v. A nil
+// EdgeWeight is treated as uniformly zero, which matches the paper's
+// single-datacenter model where intra-cloud transfer time is negligible.
+type EdgeWeight func(u, v int) float64
+
+// Timing holds the result of the forward/backward scheduling passes over a
+// weighted DAG: the classical earliest/latest start and finish times of
+// every node, from which makespan, slack, and critical paths are derived.
+type Timing struct {
+	g *Graph
+
+	// EST and EFT are the earliest start/finish times from the forward
+	// pass; LST and LFT the latest start/finish times from the backward
+	// pass anchored at the makespan.
+	EST, EFT, LST, LFT []float64
+
+	// Makespan is the end-to-end delay: max EFT over all nodes.
+	Makespan float64
+
+	order []int
+	nodeW []float64
+	edgeW EdgeWeight
+}
+
+// NewTiming runs the forward and backward passes over g with the given node
+// weights (execution times) and edge weights (transfer times, nil for all
+// zero). It returns an error if g is cyclic, if len(nodeW) != g.NumNodes(),
+// or if any weight is negative or non-finite.
+func NewTiming(g *Graph, nodeW []float64, edgeW EdgeWeight) (*Timing, error) {
+	n := g.NumNodes()
+	if len(nodeW) != n {
+		return nil, fmt.Errorf("dag: %d node weights for %d nodes", len(nodeW), n)
+	}
+	for i, w := range nodeW {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dag: invalid weight %v on node %d", w, i)
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	t := &Timing{
+		g:     g,
+		EST:   make([]float64, n),
+		EFT:   make([]float64, n),
+		LST:   make([]float64, n),
+		LFT:   make([]float64, n),
+		order: order,
+		nodeW: nodeW,
+		edgeW: edgeW,
+	}
+	t.run()
+	return t, nil
+}
+
+func (t *Timing) ew(u, v int) float64 {
+	if t.edgeW == nil {
+		return 0
+	}
+	return t.edgeW(u, v)
+}
+
+func (t *Timing) run() {
+	g := t.g
+	// Forward pass: a module cannot start until all input data arrive,
+	// and a dependency edge cannot start transfer until its source
+	// finishes (the paper's precedence constraints).
+	for _, u := range t.order {
+		start := 0.0
+		for _, p := range g.Pred(u) {
+			if a := t.EFT[p] + t.ew(p, u); a > start {
+				start = a
+			}
+		}
+		t.EST[u] = start
+		t.EFT[u] = start + t.nodeW[u]
+		if t.EFT[u] > t.Makespan {
+			t.Makespan = t.EFT[u]
+		}
+	}
+	// Backward pass anchored at the makespan.
+	for i := len(t.order) - 1; i >= 0; i-- {
+		u := t.order[i]
+		finish := t.Makespan
+		for _, s := range g.Succ(u) {
+			if d := t.LST[s] - t.ew(u, s); d < finish {
+				finish = d
+			}
+		}
+		t.LFT[u] = finish
+		t.LST[u] = finish - t.nodeW[u]
+	}
+}
+
+// Slack returns the buffer time of node i: the amount its execution can be
+// delayed without affecting the end-to-end delay (LST - EST == LFT - EFT).
+func (t *Timing) Slack(i int) float64 { return t.LST[i] - t.EST[i] }
+
+// IsCritical reports whether node i has zero buffer time.
+func (t *Timing) IsCritical(i int) bool { return t.Slack(i) <= Eps }
+
+// CriticalNodes returns all zero-slack nodes in topological order.
+func (t *Timing) CriticalNodes() []int {
+	var out []int
+	for _, u := range t.order {
+		if t.IsCritical(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// CriticalPath returns one longest (time-weighted) source-to-sink path in
+// topological order. When several critical paths exist, the one following
+// the lowest-index critical predecessor at each step is returned, so the
+// result is deterministic.
+func (t *Timing) CriticalPath() []int {
+	g := t.g
+	// Find a critical sink: EFT == makespan.
+	end := -1
+	for _, u := range t.order {
+		if math.Abs(t.EFT[u]-t.Makespan) <= Eps {
+			end = u
+			break
+		}
+	}
+	if end == -1 {
+		return nil
+	}
+	// Walk backwards along tight edges: pred p is on the path if
+	// EFT[p] + w(p,u) == EST[u] and p itself is critical.
+	path := []int{end}
+	u := end
+	for t.EST[u] > Eps {
+		next := -1
+		for _, p := range g.Pred(u) {
+			if math.Abs(t.EFT[p]+t.ew(p, u)-t.EST[u]) <= Eps && t.IsCritical(p) {
+				if next == -1 || p < next {
+					next = p
+				}
+			}
+		}
+		if next == -1 {
+			break
+		}
+		path = append(path, next)
+		u = next
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// LongestPathLen returns the makespan (length of the critical path). It is
+// provided for call sites where the intent is graph-theoretic rather than
+// scheduling-oriented.
+func (t *Timing) LongestPathLen() float64 { return t.Makespan }

@@ -1,0 +1,157 @@
+package dax
+
+import (
+	"strings"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/sched"
+)
+
+const montageDAX = `<?xml version="1.0" encoding="UTF-8"?>
+<adag name="montage-tiny" jobCount="5">
+  <job id="ID01" name="mProject" runtime="13.5">
+    <uses file="raw1.fits" link="input" size="2000000"/>
+    <uses file="proj1.fits" link="output" size="4000000"/>
+  </job>
+  <job id="ID02" name="mProject" runtime="12.1">
+    <uses file="raw2.fits" link="input" size="2000000"/>
+    <uses file="proj2.fits" link="output" size="4000000"/>
+  </job>
+  <job id="ID03" name="mDiffFit" runtime="5.2">
+    <uses file="proj1.fits" link="input" size="4000000"/>
+    <uses file="proj2.fits" link="input" size="4000000"/>
+    <uses file="diff.fits" link="output" size="1000000"/>
+  </job>
+  <job id="ID04" name="mBgModel" runtime="44.0">
+    <uses file="diff.fits" link="input" size="1000000"/>
+    <uses file="corr.tbl" link="output" size="500000"/>
+  </job>
+  <job id="ID05" name="mAdd" runtime="80.9">
+    <uses file="corr.tbl" link="input" size="500000"/>
+    <uses file="proj1.fits" link="input" size="4000000"/>
+    <uses file="proj2.fits" link="input" size="4000000"/>
+    <uses file="mosaic.fits" link="output" size="9000000"/>
+  </job>
+  <child ref="ID03"><parent ref="ID01"/><parent ref="ID02"/></child>
+  <child ref="ID04"><parent ref="ID03"/></child>
+  <child ref="ID05"><parent ref="ID04"/><parent ref="ID01"/><parent ref="ID02"/></child>
+</adag>`
+
+func TestParseMontage(t *testing.T) {
+	w, ids, err := Parse(strings.NewReader(montageDAX), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumModules() != 5 || len(ids) != 5 {
+		t.Fatalf("%d modules, %d ids", w.NumModules(), len(ids))
+	}
+	if ids[0] != "ID01" || ids[4] != "ID05" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if w.Module(0).Name != "mProject" || w.Module(0).Workload != 13.5 {
+		t.Fatalf("module 0 = %+v", w.Module(0))
+	}
+	// Explicit edges: 2 into ID03, 1 into ID04, 3 into ID05 = 6.
+	if w.NumDependencies() != 6 {
+		t.Fatalf("%d edges, want 6", w.NumDependencies())
+	}
+	// Edge ID01->ID03 carries proj1.fits: 4 MB = 4 data units.
+	if got := w.DataSize(0, 2); got != 4 {
+		t.Fatalf("data size ID01->ID03 = %v, want 4", got)
+	}
+	// Edge ID04->ID05 carries corr.tbl: 0.5 units.
+	if got := w.DataSize(3, 4); got != 0.5 {
+		t.Fatalf("data size ID04->ID05 = %v, want 0.5", got)
+	}
+}
+
+func TestParseReferencePowerScalesWorkloads(t *testing.T) {
+	w, _, err := Parse(strings.NewReader(montageDAX), Options{ReferencePower: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Module(4).Workload != 809 {
+		t.Fatalf("workload = %v, want 809", w.Module(4).Workload)
+	}
+}
+
+func TestParseInferEdges(t *testing.T) {
+	// Same jobs without any <child> elements: only file inference can
+	// recover the structure.
+	noChildren := montageDAX[:strings.Index(montageDAX, "<child")] + "</adag>"
+	w, _, err := Parse(strings.NewReader(noChildren), Options{InferEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumDependencies() != 6 {
+		t.Fatalf("inferred %d edges, want 6", w.NumDependencies())
+	}
+	// And without inference the same input is an unconnected job bag.
+	w2, _, err := Parse(strings.NewReader(noChildren), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumDependencies() != 0 {
+		t.Fatalf("%d edges without inference", w2.NumDependencies())
+	}
+}
+
+func TestParsedWorkflowSchedules(t *testing.T) {
+	w, _, err := Parse(strings.NewReader(montageDAX), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := cloud.DiminishingCatalog(3, 1, 1, 0.75)
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmin, cmax := m.BudgetRange(w)
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, (cmin+cmax)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MED <= 0 || res.Cost > (cmin+cmax)/2+1e-9 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":     `garbage`,
+		"no jobs":     `<adag name="x"></adag>`,
+		"empty id":    `<adag><job name="a" runtime="1"/></adag>`,
+		"dup id":      `<adag><job id="a" runtime="1"/><job id="a" runtime="1"/></adag>`,
+		"neg runtime": `<adag><job id="a" runtime="-1"/></adag>`,
+		"neg size":    `<adag><job id="a" runtime="1"><uses file="f" link="output" size="-5"/></job></adag>`,
+		"bad child":   `<adag><job id="a" runtime="1"/><child ref="zz"><parent ref="a"/></child></adag>`,
+		"bad parent":  `<adag><job id="a" runtime="1"/><child ref="a"><parent ref="zz"/></child></adag>`,
+		"cyclic":      `<adag><job id="a" runtime="1"/><job id="b" runtime="1"/><child ref="a"><parent ref="b"/></child><child ref="b"><parent ref="a"/></child></adag>`,
+		"self cycle":  `<adag><job id="a" runtime="1"/><child ref="a"><parent ref="a"/></child></adag>`,
+	}
+	for name, in := range cases {
+		if _, _, err := Parse(strings.NewReader(in), Options{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(montageDAX))
+	f.Add([]byte(`<adag><job id="a" runtime="1"/></adag>`))
+	f.Add([]byte(`<adag></adag>`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, ids, err := Parse(strings.NewReader(string(data)), Options{InferEdges: true})
+		if err != nil {
+			return
+		}
+		if w.NumModules() != len(ids) {
+			t.Fatal("module/id count mismatch")
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted invalid workflow: %v", err)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package exper
+
+import (
+	"math"
+
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/sim"
+	"medcc/internal/stats"
+)
+
+// AblationRow reports the average MED of one greedy-engine configuration
+// across random instances and budget levels, isolating Critical-Greedy's
+// two design choices (DESIGN.md A1): the candidate set (critical modules
+// vs all modules) and the ranking criterion (max time decrease vs max
+// time/cost ratio).
+type AblationRow struct {
+	Name       string
+	Candidates string
+	Criterion  string
+	AvgMED     float64
+}
+
+// Ablation runs the 2x2 engine grid plus the GAIN baselines on
+// `instances` random workflows of the given size at `levels` budget
+// levels each.
+func Ablation(seed int64, size gen.ProblemSize, instances, levels int) ([]AblationRow, error) {
+	configs := []struct {
+		name, cand, crit string
+	}{
+		{"critical-greedy", "critical", "max-dT"},
+		{"critical-ratio", "critical", "max-ratio"},
+		{"all-timedec", "all", "max-dT"},
+		{"gain-fixpoint", "all", "max-ratio"},
+		{"gain3", "all (once/task)", "max-ratio"},
+	}
+	meds := make([][]float64, len(configs))
+	type work struct {
+		med []float64
+		err error
+	}
+	results := make([]work, instances)
+	parallelFor(instances, func(k int) {
+		w, m, cmin, cmax, err := buildInstance(seed, k, size)
+		if err != nil {
+			results[k].err = err
+			return
+		}
+		out := make([]float64, 0, len(configs)*levels)
+		for lv := 1; lv <= levels; lv++ {
+			b := budgetLevel(cmin, cmax, lv, levels)
+			for _, cfg := range configs {
+				s, err := sched.Get(cfg.name)
+				if err != nil {
+					results[k].err = err
+					return
+				}
+				res, err := sched.Run(s, w, m, b)
+				if err != nil {
+					results[k].err = err
+					return
+				}
+				out = append(out, res.MED)
+			}
+		}
+		results[k].med = out
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	for k := 0; k < instances; k++ {
+		pos := 0
+		for lv := 0; lv < levels; lv++ {
+			for ci := range configs {
+				meds[ci] = append(meds[ci], results[k].med[pos])
+				pos++
+			}
+		}
+	}
+	rows := make([]AblationRow, len(configs))
+	for ci, cfg := range configs {
+		rows[ci] = AblationRow{
+			Name:       cfg.name,
+			Candidates: cfg.cand,
+			Criterion:  cfg.crit,
+			AvgMED:     stats.Mean(meds[ci]),
+		}
+	}
+	return rows, nil
+}
+
+// ValidationRow reports the agreement between the analytic model and the
+// discrete-event simulator on one random instance (DESIGN.md A2).
+type ValidationRow struct {
+	Size        gen.ProblemSize
+	Instance    int
+	MakespanErr float64 // |analytic - simulated|
+	CostErr     float64
+}
+
+// SimValidation cross-checks analytic makespan/cost against event-driven
+// replay on `instances` random instances of the given size.
+func SimValidation(seed int64, size gen.ProblemSize, instances int) ([]ValidationRow, error) {
+	rows := make([]ValidationRow, instances)
+	errs := make([]error, instances)
+	parallelFor(instances, func(k int) {
+		w, m, cmin, cmax, err := buildInstance(seed, k, size)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		// Separate stream for the budget draw (see TableIII).
+		rng := newRNG(seed+1_000_000_007, k)
+		b := cmin + rng.Float64()*(cmax-cmin)
+		res, err := sched.Run(sched.CriticalGreedy(), w, m, b)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		got, err := sim.Run(sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule})
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		rows[k] = ValidationRow{
+			Size:        size,
+			Instance:    k + 1,
+			MakespanErr: math.Abs(got.Makespan - res.MED),
+			CostErr:     math.Abs(got.Cost - res.Cost),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

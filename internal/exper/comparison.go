@@ -1,0 +1,166 @@
+package exper
+
+import (
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/stats"
+)
+
+// TableIVRow is one row of Table IV: average MED of CG and GAIN3 across
+// budget levels for one problem size, with the improvement percentage and
+// the MED ratio. GAINWRF is the Table-VII-evidenced GAIN3 variant,
+// reported alongside the literal-reading GAIN column for transparency.
+type TableIVRow struct {
+	Index     int
+	Size      gen.ProblemSize
+	CG        float64
+	GAIN      float64
+	GAINWRF   float64
+	ImpPct    float64 // improvement of CG over GAIN
+	ImpWRFPct float64 // improvement of CG over GAINWRF
+	Ratio     float64 // MED_CG / MED_GAIN
+	PerLvl    []float64
+}
+
+// TableIV regenerates Table IV (and the Fig. 8 series, which plots its
+// improvement column): one random instance per problem size, scheduled by
+// CG and GAIN3 at `levels` budget levels across [Cmin, Cmax]; the paper
+// uses 20 levels over the 20 sizes of gen.PaperProblemSizes.
+func TableIV(seed int64, levels int) ([]TableIVRow, error) {
+	sizes := gen.PaperProblemSizes()
+	rows := make([]TableIVRow, len(sizes))
+	errs := make([]error, len(sizes))
+	parallelFor(len(sizes), func(si int) {
+		size := sizes[si]
+		w, m, cmin, cmax, err := buildInstance(seed, si, size)
+		if err != nil {
+			errs[si] = err
+			return
+		}
+		cgMEDs := make([]float64, 0, levels)
+		gMEDs := make([]float64, 0, levels)
+		wMEDs := make([]float64, 0, levels)
+		perLvl := make([]float64, 0, levels)
+		for k := 1; k <= levels; k++ {
+			b := budgetLevel(cmin, cmax, k, levels)
+			cg, gain, err := runPair(w, m, b)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			wrfMED, err := runNamed("gain3-wrf", w, m, b)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			cgMEDs = append(cgMEDs, cg)
+			gMEDs = append(gMEDs, gain)
+			wMEDs = append(wMEDs, wrfMED)
+			perLvl = append(perLvl, sched.Improvement(gain, cg))
+		}
+		cgAvg, gAvg, wAvg := stats.Mean(cgMEDs), stats.Mean(gMEDs), stats.Mean(wMEDs)
+		rows[si] = TableIVRow{
+			Index:     si + 1,
+			Size:      size,
+			CG:        cgAvg,
+			GAIN:      gAvg,
+			GAINWRF:   wAvg,
+			ImpPct:    sched.Improvement(gAvg, cgAvg),
+			ImpWRFPct: sched.Improvement(wAvg, cgAvg),
+			Ratio:     cgAvg / gAvg,
+			PerLvl:    perLvl,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// CampaignCell is the average CG-over-GAIN3 improvement for one (problem
+// size, budget level) pair across several random instances — the atom
+// from which Figs. 9, 10, and 11 are assembled.
+type CampaignCell struct {
+	SizeIdx int // 1-based index into gen.PaperProblemSizes
+	Level   int // 1-based budget level
+	AvgImp  float64
+}
+
+// Campaign runs the full Fig. 9/10/11 sweep: for every problem size,
+// `instances` random workflows, each scheduled by CG and GAIN3 at
+// `levels` budget levels; every (size, level) cell averages the
+// improvement across the instances. The paper uses 10 instances and 20
+// levels (4,000 schedule pairs).
+func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
+	sizes := gen.PaperProblemSizes()
+	type instResult struct {
+		imp []float64 // per level
+		err error
+	}
+	results := make([]instResult, len(sizes)*instances)
+	parallelFor(len(results), func(k int) {
+		si := k / instances
+		w, m, cmin, cmax, err := buildInstance(seed+int64(si)*104729, k%instances, sizes[si])
+		if err != nil {
+			results[k].err = err
+			return
+		}
+		imps := make([]float64, levels)
+		for lv := 1; lv <= levels; lv++ {
+			b := budgetLevel(cmin, cmax, lv, levels)
+			cg, gain, err := runPair(w, m, b)
+			if err != nil {
+				results[k].err = err
+				return
+			}
+			imps[lv-1] = sched.Improvement(gain, cg)
+		}
+		results[k].imp = imps
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	cells := make([]CampaignCell, 0, len(sizes)*levels)
+	for si := range sizes {
+		for lv := 1; lv <= levels; lv++ {
+			var xs []float64
+			for inst := 0; inst < instances; inst++ {
+				xs = append(xs, results[si*instances+inst].imp[lv-1])
+			}
+			cells = append(cells, CampaignCell{SizeIdx: si + 1, Level: lv, AvgImp: stats.Mean(xs)})
+		}
+	}
+	return cells, nil
+}
+
+// Fig9 collapses the campaign over budget levels: average improvement per
+// problem size (200 instances per bar in the paper's configuration).
+func Fig9(cells []CampaignCell) map[int]float64 {
+	sums := map[int][]float64{}
+	for _, c := range cells {
+		sums[c.SizeIdx] = append(sums[c.SizeIdx], c.AvgImp)
+	}
+	out := make(map[int]float64, len(sums))
+	for k, xs := range sums {
+		out[k] = stats.Mean(xs)
+	}
+	return out
+}
+
+// Fig10 collapses the campaign over problem sizes: average improvement per
+// budget level.
+func Fig10(cells []CampaignCell) map[int]float64 {
+	sums := map[int][]float64{}
+	for _, c := range cells {
+		sums[c.Level] = append(sums[c.Level], c.AvgImp)
+	}
+	out := make(map[int]float64, len(sums))
+	for k, xs := range sums {
+		out[k] = stats.Mean(xs)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package exper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTableIVCSV emits the Table IV rows as CSV for external plotting
+// (Fig. 8 is its improvement column).
+func WriteTableIVCSV(w io.Writer, rows []TableIVRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "modules", "edges", "vm_types", "cg_med", "gain3_med", "imp_pct", "ratio", "gain3wrf_med", "imp_wrf_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprint(r.Index),
+			fmt.Sprint(r.Size.M), fmt.Sprint(r.Size.E), fmt.Sprint(r.Size.N),
+			fmt.Sprintf("%.6g", r.CG), fmt.Sprintf("%.6g", r.GAIN),
+			fmt.Sprintf("%.4f", r.ImpPct), fmt.Sprintf("%.4f", r.Ratio),
+			fmt.Sprintf("%.6g", r.GAINWRF), fmt.Sprintf("%.4f", r.ImpWRFPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCampaignCSV emits the Fig. 9/10/11 campaign cells as long-format
+// CSV (one row per size x budget-level cell).
+func WriteCampaignCSV(w io.Writer, cells []CampaignCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"size_index", "budget_level", "avg_improvement_pct"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			fmt.Sprint(c.SizeIdx), fmt.Sprint(c.Level), fmt.Sprintf("%.4f", c.AvgImp),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV emits the example staircase as CSV.
+func WriteFig6CSV(w io.Writer, pts []Fig6Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"budget", "med", "cost"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.6g", p.Budget), fmt.Sprintf("%.6g", p.MED), fmt.Sprintf("%.6g", p.Cost),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableVIICSV emits the WRF comparison as CSV.
+func WriteTableVIICSV(w io.Writer, rows []TableVIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"budget", "algorithm", "w1", "w2", "w3", "w4", "w5", "w6", "med", "testbed_med", "testbed_cost", "vms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{fmt.Sprintf("%.6g", r.Budget), r.Alg}
+		for _, t := range r.Mapping {
+			rec = append(rec, fmt.Sprint(t))
+		}
+		rec = append(rec,
+			fmt.Sprintf("%.6g", r.MED),
+			fmt.Sprintf("%.6g", r.TestbedMED),
+			fmt.Sprintf("%.6g", r.TestbedCost),
+			fmt.Sprint(r.NumVMs))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

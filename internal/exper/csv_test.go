@@ -1,0 +1,85 @@
+package exper
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteTableIVCSV(t *testing.T) {
+	rows, err := TableIV(DefaultSeed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTableIVCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 21 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "index" || len(recs[1]) != 10 {
+		t.Fatalf("header/width wrong: %v", recs[0])
+	}
+	if recs[1][1] != "5" || recs[20][1] != "100" {
+		t.Fatalf("module counts wrong: %v %v", recs[1][1], recs[20][1])
+	}
+}
+
+func TestWriteCampaignCSV(t *testing.T) {
+	cells, err := Campaign(DefaultSeed, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCampaignCSV(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 1+20*3 {
+		t.Fatalf("%d records", len(recs))
+	}
+}
+
+func TestWriteFig6CSV(t *testing.T) {
+	pts, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFig6CSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 18 || recs[1][0] != "48" {
+		t.Fatalf("Fig6 CSV wrong: %d records, first budget %v", len(recs), recs[1][0])
+	}
+}
+
+func TestWriteTableVIICSV(t *testing.T) {
+	rows, err := TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTableVIICSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, sb.String())
+	if len(recs) != 19 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1][1] != "critical-greedy" {
+		t.Fatalf("first algorithm %v", recs[1][1])
+	}
+}

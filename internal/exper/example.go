@@ -1,0 +1,117 @@
+package exper
+
+import (
+	"medcc/internal/cloud"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+// TableIIRow is one schedule of the numerical example: the budget interval
+// [BudgetLo, BudgetHi) over which Critical-Greedy produces it, the
+// module-to-type mapping (1-based like the paper, entry/exit omitted), and
+// the resulting MED and cost.
+type TableIIRow struct {
+	Index    int
+	BudgetLo float64
+	BudgetHi float64 // +Inf on the top row
+	Mapping  []int
+	MED      float64
+	Cost     float64
+}
+
+// TableII regenerates Table II: all distinct schedules Critical-Greedy
+// produces on the §V-B example workflow as the budget varies across
+// [Cmin, Cmax], with their budget intervals. Rows are ordered from the
+// largest budget (fastest schedule) down, matching the paper's layout.
+func TableII() ([]TableIIRow, error) {
+	w, cat := workflow.PaperExample()
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		return nil, err
+	}
+	cmin, cmax := m.BudgetRange(w)
+
+	// Sweep the budget at fine granularity and merge runs of identical
+	// schedules into intervals. The example's cost quanta are integral,
+	// so 1/8 steps are more than fine enough.
+	const step = 0.125
+	type entry struct {
+		budget float64
+		res    *sched.Result
+	}
+	var sweep []entry
+	for b := cmin; b <= cmax+step/2; b += step {
+		res, err := sched.Run(sched.CriticalGreedy(), w, m, b)
+		if err != nil {
+			return nil, err
+		}
+		sweep = append(sweep, entry{budget: b, res: res})
+	}
+	var rows []TableIIRow
+	for i := 0; i < len(sweep); {
+		j := i
+		for j+1 < len(sweep) && sweep[j+1].res.Schedule.Equal(sweep[i].res.Schedule) {
+			j++
+		}
+		hi := cmax
+		if j+1 < len(sweep) {
+			hi = sweep[j+1].budget
+		}
+		rows = append(rows, TableIIRow{
+			BudgetLo: sweep[i].budget,
+			BudgetHi: hi,
+			Mapping:  paperMapping(w, sweep[i].res.Schedule),
+			MED:      sweep[i].res.MED,
+			Cost:     sweep[i].res.Cost,
+		})
+		i = j + 1
+	}
+	// Paper numbering: schedule 1 is the fastest (largest budget).
+	for i, j := 0, len(rows)-1; i < j; i, j = i+1, j-1 {
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+	for i := range rows {
+		rows[i].Index = i + 1
+	}
+	if len(rows) > 0 {
+		rows[0].BudgetHi = -1 // rendered as infinity
+	}
+	return rows, nil
+}
+
+// paperMapping converts a schedule to the paper's 1-based type indices for
+// the schedulable modules only.
+func paperMapping(w *workflow.Workflow, s workflow.Schedule) []int {
+	var out []int
+	for _, i := range w.Schedulable() {
+		out = append(out, s[i]+1)
+	}
+	return out
+}
+
+// Fig6Point is one point of the MED-vs-budget staircase of Fig. 6.
+type Fig6Point struct {
+	Budget float64
+	MED    float64
+	Cost   float64
+}
+
+// Fig6 regenerates the Fig. 6 series: Critical-Greedy's MED at each
+// integral budget across [Cmin, Cmax] of the example workflow.
+func Fig6() ([]Fig6Point, error) {
+	w, cat := workflow.PaperExample()
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		return nil, err
+	}
+	cmin, cmax := m.BudgetRange(w)
+	var pts []Fig6Point
+	for b := cmin; b <= cmax; b++ {
+		res, err := sched.Run(sched.CriticalGreedy(), w, m, b)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Fig6Point{Budget: b, MED: res.MED, Cost: res.Cost})
+	}
+	return pts, nil
+}

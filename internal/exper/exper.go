@@ -1,0 +1,136 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (§V-B and §VI): the numerical-example staircase (Table II,
+// Fig. 6), the optimality studies (Table III, Fig. 7), the CG-vs-GAIN3
+// simulation campaign (Table IV, Figs. 8-11), the WRF testbed comparison
+// (Table VII, Fig. 15), and the ablation / validation experiments from
+// DESIGN.md (A1, A2). Each experiment returns structured rows; render.go
+// prints them in the papers' row/series layout.
+//
+// All experiments are deterministic: instance k of an experiment draws
+// from rand.NewSource(seed + k), so results are stable under the
+// parallel execution used for the larger campaigns.
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+// DefaultSeed is the seed used by cmd/experiments and the benches; chosen
+// once so published EXPERIMENTS.md numbers are reproducible.
+const DefaultSeed int64 = 2013
+
+// parallelFor runs fn(0..n-1) on up to GOMAXPROCS goroutines and blocks
+// until all complete. Work items must be independent; determinism comes
+// from per-item seeding, not execution order.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runPair schedules the workflow with CG and GAIN3 at the given budget and
+// returns both MEDs.
+func runPair(w *workflow.Workflow, m *workflow.Matrices, budget float64) (cg, gain float64, err error) {
+	cgRes, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+	if err != nil {
+		return 0, 0, fmt.Errorf("critical-greedy: %w", err)
+	}
+	g3, err := sched.Get("gain3")
+	if err != nil {
+		return 0, 0, err
+	}
+	gRes, err := sched.Run(g3, w, m, budget)
+	if err != nil {
+		return 0, 0, fmt.Errorf("gain3: %w", err)
+	}
+	return cgRes.MED, gRes.MED, nil
+}
+
+// runNamed schedules with a registry algorithm and returns the MED.
+func runNamed(name string, w *workflow.Workflow, m *workflow.Matrices, budget float64) (float64, error) {
+	alg, err := sched.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sched.Run(alg, w, m, budget)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
+	}
+	return res.MED, nil
+}
+
+// buildInstance generates instance k of a problem size with the campaign's
+// deterministic seeding and returns its matrices and budget range.
+func buildInstance(seed int64, k int, size gen.ProblemSize) (*workflow.Workflow, *workflow.Matrices, float64, float64, error) {
+	rng := newRNG(seed, k)
+	w, cat, err := gen.Instance(rng, size)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return withMatrices(w, cat)
+}
+
+// buildSmallInstance generates instance k for the small-scale optimality
+// studies (Table III, Fig. 7), which use exactly three VM types: the
+// paper's own Table I catalog (VP = {3,15,30}, CV = {1,4,8}) with
+// workloads in the range of the §V-B example.
+func buildSmallInstance(seed int64, k int, size gen.ProblemSize) (*workflow.Workflow, *workflow.Matrices, float64, float64, error) {
+	rng := newRNG(seed, k)
+	w, err := gen.Random(rng, gen.Params{
+		Modules:      size.M,
+		Edges:        size.E,
+		WorkloadMin:  10,
+		WorkloadMax:  100,
+		DataSizeMax:  10,
+		AddEntryExit: true,
+	})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return withMatrices(w, cloud.PaperExampleCatalog())
+}
+
+func withMatrices(w *workflow.Workflow, cat cloud.Catalog) (*workflow.Workflow, *workflow.Matrices, float64, float64, error) {
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	cmin, cmax := m.BudgetRange(w)
+	return w, m, cmin, cmax, nil
+}
+
+// budgetLevel returns the paper's k-th of n budget levels over
+// [cmin, cmax]: Cmin + k*(Cmax-Cmin)/n for k in 1..n.
+func budgetLevel(cmin, cmax float64, k, n int) float64 {
+	return cmin + float64(k)/float64(n)*(cmax-cmin)
+}

@@ -1,0 +1,177 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"medcc/internal/gen"
+)
+
+func TestProvisioningSweep(t *testing.T) {
+	rows, err := Provisioning(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// HEFT makespan is non-increasing in pool size on this workflow
+	// (more identical fastest instances never hurt list scheduling of
+	// a parallel-chain DAG).
+	for k := 1; k < len(rows); k++ {
+		if rows[k].HEFTMED > rows[k-1].HEFTMED+1e-9 {
+			t.Fatalf("HEFT makespan rose from pool %d to %d", k, k+1)
+		}
+	}
+	// Large-enough pools must reach the fastest-schedule makespan of
+	// the one-to-one model (4.6 on the example).
+	last := rows[len(rows)-1]
+	if last.HEFTMED > 4.6+1e-9 {
+		t.Fatalf("6-instance HEFT MED %v above one-to-one fastest 4.6", last.HEFTMED)
+	}
+	var sb strings.Builder
+	if err := RenderProvisioning(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Pool size") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestMultiCloudSweep(t *testing.T) {
+	rows, err := MultiCloud(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.MultiCost > r.Budget+1e-9 {
+			t.Fatalf("multi-cloud overspent at B=%v", r.Budget)
+		}
+		if r.MultiMED < r.SingleMED-1e-9 {
+			wins++
+		}
+		if r.MultiMED > r.SingleMED+1e-9 {
+			t.Fatalf("multi-cloud (%v) worse than its own single-region baseline (%v) at B=%v",
+				r.MultiMED, r.SingleMED, r.Budget)
+		}
+	}
+	if wins == 0 {
+		t.Fatal("multi-cloud never beat the best single region across the sweep")
+	}
+	var sb strings.Builder
+	if err := RenderMultiCloud(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "regions used") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRuntimeScaling(t *testing.T) {
+	algs := []string{"critical-greedy", "budget-dist"}
+	rows, err := RuntimeScaling(DefaultSeed, algs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, a := range algs {
+			if r.Seconds[a] < 0 {
+				t.Fatalf("negative timing for %s", a)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := RenderRuntime(&sb, algs, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "critical-greedy (ms)") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTestbedCapacitySweep(t *testing.T) {
+	rows, err := TestbedCapacity(DefaultSeed, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Makespan is non-increasing as the cloud grows, and the narrowest
+	// cloud must show queueing.
+	for k := 1; k < len(rows); k++ {
+		if rows[k].Makespan > rows[k-1].Makespan+1e-9 {
+			t.Fatalf("makespan rose from %d to %d VMMs", rows[k-1].VMMs, rows[k].VMMs)
+		}
+	}
+	if rows[0].QueueWait <= 0 {
+		t.Fatal("no queueing on the narrowest cloud")
+	}
+	if rows[0].Makespan <= rows[len(rows)-1].Makespan {
+		t.Fatal("capacity had no effect")
+	}
+	var sb strings.Builder
+	if err := RenderCapacity(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "VMM nodes") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAdaptiveSweep(t *testing.T) {
+	rows, err := Adaptive(DefaultSeed, gen.ProblemSize{M: 10, E: 17, N: 4}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Zero noise: no overspend either way.
+	if rows[0].StaticOverspend != 0 || rows[0].AdaptOverspend != 0 {
+		t.Fatalf("overspend without noise: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.AdaptOverspend > r.StaticOverspend+1e-9 {
+			t.Fatalf("adaptive overspend above static at noise %v", r.OverRuns)
+		}
+	}
+	var sb strings.Builder
+	if err := RenderAdaptive(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Replans") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestClusteringStudy(t *testing.T) {
+	rows, err := Clustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	full, clus := rows[0], rows[1]
+	if clus.Modules >= full.Modules {
+		t.Fatalf("clustering did not shrink the workflow: %d vs %d", clus.Modules, full.Modules)
+	}
+	if clus.Cmin > full.Cmin+1e-9 {
+		t.Fatalf("clustering raised Cmin: %v vs %v", clus.Cmin, full.Cmin)
+	}
+	var sb strings.Builder
+	if err := RenderClustering(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 14") {
+		t.Fatal("render missing labels")
+	}
+}

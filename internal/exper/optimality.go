@@ -1,0 +1,143 @@
+package exper
+
+import (
+	"math"
+
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+)
+
+// TableIIIRow compares Critical-Greedy against the exhaustive optimum on
+// one small random instance at a random budget (Table III of the paper).
+type TableIIIRow struct {
+	Size     gen.ProblemSize
+	Instance int
+	CG       float64
+	Optimal  float64
+}
+
+// TableIIISizes are the paper's three small-scale problem sizes.
+func TableIIISizes() []gen.ProblemSize {
+	return []gen.ProblemSize{{M: 5, E: 6, N: 3}, {M: 6, E: 11, N: 3}, {M: 7, E: 14, N: 3}}
+}
+
+// TableIII regenerates Table III: instancesPerSize random instances per
+// small problem size, each scheduled by CG and by exhaustive search at a
+// random budget within [Cmin, Cmax]. The paper uses 5 instances per size.
+func TableIII(seed int64, instancesPerSize int) ([]TableIIIRow, error) {
+	sizes := TableIIISizes()
+	rows := make([]TableIIIRow, len(sizes)*instancesPerSize)
+	errs := make([]error, len(rows))
+	parallelFor(len(rows), func(k int) {
+		size := sizes[k/instancesPerSize]
+		inst := k % instancesPerSize
+		w, m, cmin, cmax, err := buildSmallInstance(seed, k, size)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		// A separate stream for the budget draw: reusing newRNG(seed, k)
+		// would replay the instance generator's first draw and correlate
+		// the budget with the first module's workload.
+		rng := newRNG(seed+1_000_000_007, k)
+		budget := cmin + rng.Float64()*(cmax-cmin)
+		cg, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		opt, err := sched.Run(&sched.Optimal{}, w, m, budget)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		rows[k] = TableIIIRow{Size: size, Instance: inst + 1, CG: cg.MED, Optimal: opt.MED}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Row is one bar group of Fig. 7: over many random instances of one
+// problem size, the percentage of instances where each algorithm found a
+// schedule with the optimal MED. GainWRFPct is the GAIN3 variant
+// reverse-engineered from the paper's Table VII (sched.Gain3WRF), the bar
+// the paper itself plots; GainPct is the literal-reading GAIN3.
+type Fig7Row struct {
+	Size       gen.ProblemSize
+	Instances  int
+	CGPct      float64
+	GainPct    float64
+	GainWRFPct float64
+}
+
+// Fig7Sizes are the four problem sizes of Fig. 7.
+func Fig7Sizes() []gen.ProblemSize {
+	return []gen.ProblemSize{{M: 5, E: 6, N: 3}, {M: 6, E: 11, N: 3}, {M: 7, E: 14, N: 3}, {M: 8, E: 18, N: 3}}
+}
+
+// Fig7 regenerates Fig. 7: for each size, instances random workflows with
+// the budget at the median of [Cmin, Cmax]; report how often each
+// heuristic matches the optimal MED. The paper uses 100 instances.
+func Fig7(seed int64, instances int) ([]Fig7Row, error) {
+	sizes := Fig7Sizes()
+	rows := make([]Fig7Row, len(sizes))
+	for si, size := range sizes {
+		cgHits := make([]bool, instances)
+		gainHits := make([]bool, instances)
+		wrfHits := make([]bool, instances)
+		errs := make([]error, instances)
+		size := size
+		parallelFor(instances, func(k int) {
+			w, m, cmin, cmax, err := buildSmallInstance(seed+int64(si)*7919, k, size)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			budget := (cmin + cmax) / 2
+			cg, gain, err := runPair(w, m, budget)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			wrf, err := runNamed("gain3-wrf", w, m, budget)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			opt, err := sched.Run(&sched.Optimal{}, w, m, budget)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			cgHits[k] = math.Abs(cg-opt.MED) <= 1e-9
+			gainHits[k] = math.Abs(gain-opt.MED) <= 1e-9
+			wrfHits[k] = math.Abs(wrf-opt.MED) <= 1e-9
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		row := Fig7Row{Size: size, Instances: instances}
+		for k := 0; k < instances; k++ {
+			if cgHits[k] {
+				row.CGPct++
+			}
+			if gainHits[k] {
+				row.GainPct++
+			}
+			if wrfHits[k] {
+				row.GainWRFPct++
+			}
+		}
+		row.CGPct *= 100 / float64(instances)
+		row.GainPct *= 100 / float64(instances)
+		row.GainWRFPct *= 100 / float64(instances)
+		rows[si] = row
+	}
+	return rows, nil
+}

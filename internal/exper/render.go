@@ -1,0 +1,195 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"medcc/internal/stats"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// RenderTableII prints the Table II reconstruction.
+func RenderTableII(w io.Writer, rows []TableIIRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "SCG\tB\tw1\tw2\tw3\tw4\tw5\tw6\tMED\tCost")
+	for _, r := range rows {
+		hi := "inf"
+		if r.BudgetHi >= 0 {
+			hi = fmt.Sprintf("%.1f", r.BudgetHi)
+		}
+		fmt.Fprintf(tw, "%d\t[%.1f, %s)\t", r.Index, r.BudgetLo, hi)
+		for _, t := range r.Mapping {
+			fmt.Fprintf(tw, "%d\t", t)
+		}
+		fmt.Fprintf(tw, "%.2f\t%.0f\n", r.MED, r.Cost)
+	}
+	return tw.Flush()
+}
+
+// RenderFig6 prints the Fig. 6 budget/MED series.
+func RenderFig6(w io.Writer, pts []Fig6Point) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Budget\tMED\tCost")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.0f\t%.2f\t%.0f\n", p.Budget, p.MED, p.Cost)
+	}
+	return tw.Flush()
+}
+
+// RenderTableIII prints the CG-vs-optimal instances, grouped per size as
+// in the paper's column layout.
+func RenderTableIII(w io.Writer, rows []TableIIIRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Size\tInstance\tCritical-Greedy\tOptimal\tMatch")
+	for _, r := range rows {
+		match := ""
+		if r.CG <= r.Optimal+1e-9 {
+			match = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%s\n", r.Size, r.Instance, r.CG, r.Optimal, match)
+	}
+	return tw.Flush()
+}
+
+// RenderFig7 prints the percent-of-optimal bars.
+func RenderFig7(w io.Writer, rows []Fig7Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Size\tInstances\tCG % optimal\tGAIN3(paper) % optimal\tGAIN3(literal) % optimal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\n", r.Size, r.Instances, r.CGPct, r.GainWRFPct, r.GainPct)
+	}
+	return tw.Flush()
+}
+
+// RenderTableIV prints the Table IV comparison with the same columns as
+// the paper.
+func RenderTableIV(w io.Writer, rows []TableIVRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Prb Idx\t(m, |Ew|, n)\tCG\tGAIN3\tImp (%)\tCG Ratio GAIN\tGAIN3-WRF\tImp-WRF (%)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Index, r.Size, r.CG, r.GAIN, r.ImpPct, r.Ratio, r.GAINWRF, r.ImpWRFPct)
+	}
+	return tw.Flush()
+}
+
+// RenderFig8 prints the improvement-per-size series plotted in Fig. 8
+// (derived from Table IV).
+func RenderFig8(w io.Writer, rows []TableIVRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Problem Index\tAverage Improvement (%)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2f\n", r.Index, r.ImpPct)
+	}
+	return tw.Flush()
+}
+
+// RenderFig9 prints the per-size campaign averages.
+func RenderFig9(w io.Writer, perSize map[int]float64) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Problem Index\tAverage Improvement (%)")
+	for _, k := range sortedKeys(perSize) {
+		fmt.Fprintf(tw, "%d\t%.2f\n", k, perSize[k])
+	}
+	return tw.Flush()
+}
+
+// RenderFig10 prints the per-budget-level campaign averages.
+func RenderFig10(w io.Writer, perLevel map[int]float64) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Budget Level\tAverage Improvement (%)")
+	for _, k := range sortedKeys(perLevel) {
+		fmt.Fprintf(tw, "%d\t%.2f\n", k, perLevel[k])
+	}
+	return tw.Flush()
+}
+
+// RenderFig11 prints the (size x level) improvement grid: one row per
+// problem size, one column per budget level.
+func RenderFig11(w io.Writer, cells []CampaignCell) error {
+	bySize := map[int]map[int]float64{}
+	maxLevel := 0
+	for _, c := range cells {
+		if bySize[c.SizeIdx] == nil {
+			bySize[c.SizeIdx] = map[int]float64{}
+		}
+		bySize[c.SizeIdx][c.Level] = c.AvgImp
+		if c.Level > maxLevel {
+			maxLevel = c.Level
+		}
+	}
+	tw := newTab(w)
+	fmt.Fprint(tw, "Size\\Level")
+	for lv := 1; lv <= maxLevel; lv++ {
+		fmt.Fprintf(tw, "\t%d", lv)
+	}
+	fmt.Fprintln(tw)
+	for _, si := range sortedKeys(bySize) {
+		fmt.Fprintf(tw, "%d", si)
+		for lv := 1; lv <= maxLevel; lv++ {
+			fmt.Fprintf(tw, "\t%.1f", bySize[si][lv])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderTableVII prints the WRF comparison with analytic and testbed MEDs.
+func RenderTableVII(w io.Writer, rows []TableVIIRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Budget\tAlg\tw1\tw2\tw3\tw4\tw5\tw6\tMED\tTestbed MED\tTestbed Cost\tVMs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.1f\t%s\t", r.Budget, r.Alg)
+		for _, t := range r.Mapping {
+			fmt.Fprintf(tw, "%d\t", t)
+		}
+		fmt.Fprintf(tw, "%.1f\t%.1f\t%.1f\t%d\n", r.MED, r.TestbedMED, r.TestbedCost, r.NumVMs)
+	}
+	return tw.Flush()
+}
+
+// RenderFig15 prints the CG/GAIN3 testbed MED bars per budget.
+func RenderFig15(w io.Writer, pts []Fig15Point) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Budget\tCG MED\tGAIN3 MED")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.1f\t%.1f\t%.1f\n", p.Budget, p.CG, p.GAIN)
+	}
+	return tw.Flush()
+}
+
+// RenderAblation prints the engine-grid comparison.
+func RenderAblation(w io.Writer, rows []AblationRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Engine\tCandidates\tCriterion\tAvg MED")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\n", r.Name, r.Candidates, r.Criterion, r.AvgMED)
+	}
+	return tw.Flush()
+}
+
+// RenderValidation prints the analytic-vs-simulator agreement summary.
+func RenderValidation(w io.Writer, rows []ValidationRow) error {
+	var mk, ck []float64
+	for _, r := range rows {
+		mk = append(mk, r.MakespanErr)
+		ck = append(ck, r.CostErr)
+	}
+	_, err := fmt.Fprintf(w, "instances=%d  max |dMakespan|=%.3g  max |dCost|=%.3g\n",
+		len(rows), stats.Max(mk), stats.Max(ck))
+	return err
+}
+
+func sortedKeys[M ~map[int]V, V any](m M) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

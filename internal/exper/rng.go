@@ -1,0 +1,11 @@
+package exper
+
+import "math/rand"
+
+// newRNG builds the deterministic generator for work item k of an
+// experiment. The multiplier decorrelates adjacent items beyond what
+// consecutive seeds give (math/rand's LCG-seeded streams with adjacent
+// seeds start noticeably correlated).
+func newRNG(seed int64, k int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(k)*1_000_003))
+}

@@ -1,0 +1,191 @@
+// Package gen generates synthetic workflow instances and VM catalogs for
+// simulation studies, including the exact random-DAG construction of the
+// paper's §VI-A and a set of named scientific-workflow topologies.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"medcc/internal/cloud"
+	"medcc/internal/workflow"
+)
+
+// Params controls random workflow generation per §VI-A: m modules are laid
+// out sequentially w0..w(m-1); each module wi picks k successors uniformly
+// among the higher-numbered modules; predecessor-less modules are connected
+// to the entry; workloads are drawn uniformly from [WorkloadMin,
+// WorkloadMax]; entry/exit modules are fixed one-hour, zero-cost.
+type Params struct {
+	// Modules is m, the number of computing modules (excluding the
+	// fixed entry/exit modules added around them).
+	Modules int
+	// Edges is |Ew|, the target number of dependency edges among the
+	// computing modules. The generator adds random forward edges until
+	// this count is reached (capped at the maximum possible).
+	Edges int
+	// WorkloadMin and WorkloadMax bound the uniform workload draw.
+	WorkloadMin, WorkloadMax float64
+	// DataSizeMax bounds the uniform data-size draw on edges (cosmetic
+	// under zero intra-cloud transfer; exercised by the simulator).
+	DataSizeMax float64
+	// AddEntryExit wraps the modules with fixed one-hour entry and exit
+	// modules, as in the paper's example workflow.
+	AddEntryExit bool
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Modules < 1 {
+		return fmt.Errorf("gen: need at least 1 module, have %d", p.Modules)
+	}
+	maxEdges := p.Modules * (p.Modules - 1) / 2
+	if p.Edges < 0 || p.Edges > maxEdges {
+		return fmt.Errorf("gen: edge count %d outside [0,%d]", p.Edges, maxEdges)
+	}
+	if p.WorkloadMin < 0 || p.WorkloadMax < p.WorkloadMin {
+		return fmt.Errorf("gen: bad workload range [%v,%v]", p.WorkloadMin, p.WorkloadMax)
+	}
+	if p.DataSizeMax < 0 {
+		return fmt.Errorf("gen: negative data size bound %v", p.DataSizeMax)
+	}
+	return nil
+}
+
+// Random generates one workflow instance. The construction follows §VI-A:
+// modules are laid out sequentially as a pipeline skeleton, then each
+// module wi chooses k in [1, m-1-i] and connects to k random
+// higher-numbered modules; finally predecessor-less modules attach to the
+// entry module so the requested |Ew| is met.
+func Random(rng *rand.Rand, p Params) (*workflow.Workflow, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := workflow.New()
+	entry := -1
+	if p.AddEntryExit {
+		entry = w.AddModule(workflow.Module{Name: "entry", Fixed: true, FixedTime: 1})
+	}
+	ids := make([]int, p.Modules)
+	for i := range ids {
+		wl := p.WorkloadMin
+		if p.WorkloadMax > p.WorkloadMin {
+			wl += rng.Float64() * (p.WorkloadMax - p.WorkloadMin)
+		}
+		ids[i] = w.AddModule(workflow.Module{Name: fmt.Sprintf("w%d", i+1), Workload: wl})
+	}
+
+	ds := func() float64 {
+		if p.DataSizeMax <= 0 {
+			return 0
+		}
+		return rng.Float64() * p.DataSizeMax
+	}
+
+	// Random forward fan-out, per the paper: "for each module wi, we
+	// randomly choose a number k within the range [1, m-1-i] and then
+	// choose k modules with their module IDs in the range [i+1, m-1] as
+	// its successors", stopping when the edge budget is spent.
+	edges := 0
+	for i := 0; i < p.Modules-1 && edges < p.Edges; i++ {
+		avail := p.Modules - 1 - i
+		k := 1 + rng.Intn(avail)
+		if k > p.Edges-edges {
+			k = p.Edges - edges
+		}
+		perm := rng.Perm(avail)
+		for _, off := range perm[:k] {
+			target := i + 1 + off
+			if err := w.AddDependency(ids[i], ids[target], ds()); err != nil {
+				return nil, err
+			}
+			edges++
+		}
+	}
+	// Top up with uniformly random forward edges if fan-out stopped
+	// short of the requested count.
+	for guard := 0; edges < p.Edges && guard < 100*p.Edges+1000; guard++ {
+		u := rng.Intn(p.Modules - 1)
+		v := u + 1 + rng.Intn(p.Modules-1-u)
+		if w.Graph().HasEdge(ids[u], ids[v]) {
+			continue
+		}
+		if err := w.AddDependency(ids[u], ids[v], ds()); err != nil {
+			return nil, err
+		}
+		edges++
+	}
+
+	if p.AddEntryExit {
+		exit := w.AddModule(workflow.Module{Name: "exit", Fixed: true, FixedTime: 1})
+		for _, id := range ids {
+			if w.Graph().InDegree(id) == 0 {
+				if err := w.AddDependency(entry, id, 0); err != nil {
+					return nil, err
+				}
+			}
+			if w.Graph().OutDegree(id) == 0 {
+				if err := w.AddDependency(id, exit, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Catalog draws an n-type VM catalog with the paper's linear base-unit
+// pricing: type j has j+1 base units of power and price. basePower and
+// basePrice set the unit scale.
+func Catalog(n int, basePower, basePrice float64) cloud.Catalog {
+	return cloud.LinearCatalog(n, basePower, basePrice)
+}
+
+// SimulationGamma is the sublinear power exponent used for the experiment
+// catalogs, fit to the speedups the paper measured on its WRF testbed
+// (Table VI: nominal 4x / 8x instances deliver ~2-3x / ~2-5x speedups).
+const SimulationGamma = 0.75
+
+// ProblemSize is the paper's 3-tuple (m, |Ew|, n): module count, link
+// count, and number of available VM types.
+type ProblemSize struct {
+	M, E, N int
+}
+
+// String renders "(m, |Ew|, n)" as in the paper's tables.
+func (p ProblemSize) String() string { return fmt.Sprintf("(%d, %d, %d)", p.M, p.E, p.N) }
+
+// PaperProblemSizes returns the 20 problem sizes of Table IV, indexed 1-20.
+func PaperProblemSizes() []ProblemSize {
+	return []ProblemSize{
+		{5, 6, 3}, {10, 17, 4}, {15, 65, 5}, {20, 80, 5}, {25, 201, 5},
+		{30, 269, 6}, {35, 401, 6}, {40, 434, 6}, {45, 473, 6}, {50, 503, 7},
+		{55, 838, 7}, {60, 842, 7}, {65, 993, 7}, {70, 1142, 7}, {75, 1179, 8},
+		{80, 1352, 8}, {85, 1424, 8}, {90, 1825, 8}, {95, 1891, 9}, {100, 2344, 9},
+	}
+}
+
+// Instance generates a workflow plus catalog for one problem size with the
+// simulation defaults used across the experiment harness: workloads in
+// [100, 1000] over a linearly-priced catalog with diminishing effective
+// power (base power 3, base price 1, gamma = SimulationGamma). The
+// sublinear power keeps the faster types more expensive per unit of work,
+// matching the trade-off the paper measured on its testbed; see
+// cloud.DiminishingCatalog and DESIGN.md §2.
+func Instance(rng *rand.Rand, size ProblemSize) (*workflow.Workflow, cloud.Catalog, error) {
+	w, err := Random(rng, Params{
+		Modules:      size.M,
+		Edges:        size.E,
+		WorkloadMin:  100,
+		WorkloadMax:  1000,
+		DataSizeMax:  10,
+		AddEntryExit: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, cloud.DiminishingCatalog(size.N, 3, 1, SimulationGamma), nil
+}

@@ -1,0 +1,175 @@
+package mckp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func tinyProblem() *Problem {
+	return &Problem{
+		Classes: [][]Item{
+			{{Profit: 1, Weight: 1}, {Profit: 4, Weight: 3}},
+			{{Profit: 2, Weight: 2}, {Profit: 5, Weight: 5}},
+		},
+		Capacity: 6,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := tinyProblem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{Capacity: 1},
+		{Classes: [][]Item{{}}, Capacity: 1},
+		{Classes: [][]Item{{{Profit: 1, Weight: -1}}}, Capacity: 1},
+		{Classes: [][]Item{{{Profit: math.NaN(), Weight: 1}}}, Capacity: 1},
+		{Classes: [][]Item{{{Profit: 1, Weight: 1}}}, Capacity: -2},
+		{Classes: [][]Item{{{Profit: 1, Weight: math.Inf(1)}}}, Capacity: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestSolveBBTiny(t *testing.T) {
+	// Best: item 1 from class 0 (p4 w3) + item 0 from class 1 (p2 w2):
+	// weight 5 <= 6, profit 6. The greedy-looking (p4,p5) pair weighs 8.
+	choice, profit, err := SolveBB(tinyProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profit != 6 {
+		t.Fatalf("profit = %v, want 6", profit)
+	}
+	if choice[0] != 1 || choice[1] != 0 {
+		t.Fatalf("choice = %v", choice)
+	}
+}
+
+func TestSolveBBInfeasible(t *testing.T) {
+	p := tinyProblem()
+	p.Capacity = 2.5 // min weights 1+2 = 3
+	if _, _, err := SolveBB(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolveDPMatchesBBTiny(t *testing.T) {
+	choice, profit, err := SolveDP(tinyProblem(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profit != 6 || choice[0] != 1 || choice[1] != 0 {
+		t.Fatalf("DP choice %v profit %v", choice, profit)
+	}
+}
+
+func TestSolveDPInfeasible(t *testing.T) {
+	p := tinyProblem()
+	p.Capacity = 1
+	if _, _, err := SolveDP(p, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolveDPRejectsBadScale(t *testing.T) {
+	for _, s := range []float64{0, -1, math.Inf(1)} {
+		if _, _, err := SolveDP(tinyProblem(), s); err == nil {
+			t.Errorf("scale %v accepted", s)
+		}
+	}
+}
+
+func randomProblem(rng *rand.Rand, m, n int) *Problem {
+	p := &Problem{}
+	totalMin := 0.0
+	for i := 0; i < m; i++ {
+		cls := make([]Item, n)
+		minW := math.Inf(1)
+		for j := range cls {
+			cls[j] = Item{
+				Profit: float64(rng.Intn(50)),
+				Weight: float64(rng.Intn(20)),
+			}
+			if cls[j].Weight < minW {
+				minW = cls[j].Weight
+			}
+		}
+		totalMin += minW
+		p.Classes = append(p.Classes, cls)
+	}
+	p.Capacity = totalMin + float64(rng.Intn(30))
+	return p
+}
+
+func TestDPandBBAgreeOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(6), 2+rng.Intn(4))
+		_, pBB, errBB := SolveBB(p)
+		_, pDP, errDP := SolveDP(p, 1)
+		if (errBB == nil) != (errDP == nil) {
+			t.Fatalf("trial %d: feasibility disagreement: %v vs %v", trial, errBB, errDP)
+		}
+		if errBB != nil {
+			continue
+		}
+		if math.Abs(pBB-pDP) > 1e-9 {
+			t.Fatalf("trial %d: BB profit %v != DP profit %v", trial, pBB, pDP)
+		}
+	}
+}
+
+func TestGreedyFeasibleAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(6), 2+rng.Intn(4))
+		choice, profit, err := SolveGreedy(p)
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := 0.0
+		checkP := 0.0
+		for i, j := range choice {
+			w += p.Classes[i][j].Weight
+			checkP += p.Classes[i][j].Profit
+		}
+		if w > p.Capacity+1e-9 {
+			t.Fatalf("trial %d: greedy over capacity", trial)
+		}
+		if math.Abs(checkP-profit) > 1e-9 {
+			t.Fatalf("trial %d: greedy profit accounting off", trial)
+		}
+		_, opt, err := SolveBB(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if profit > opt+1e-9 {
+			t.Fatalf("trial %d: greedy profit %v above optimum %v", trial, profit, opt)
+		}
+	}
+}
+
+func TestChoiceIsOnePerClass(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(3)), 5, 3)
+	choice, _, err := SolveBB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice) != 5 {
+		t.Fatalf("choice length %d", len(choice))
+	}
+	for i, j := range choice {
+		if j < 0 || j >= len(p.Classes[i]) {
+			t.Fatalf("choice[%d] = %d out of range", i, j)
+		}
+	}
+}

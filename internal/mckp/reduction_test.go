@@ -1,0 +1,139 @@
+package mckp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+func TestIsPipeline(t *testing.T) {
+	if !IsPipeline(workflow.NewPipeline([]float64{1, 2, 3})) {
+		t.Fatal("pipeline not recognized")
+	}
+	wf, _ := workflow.PaperExample()
+	if IsPipeline(wf) {
+		t.Fatal("DAG with branches recognized as pipeline")
+	}
+	if IsPipeline(workflow.New()) {
+		t.Fatal("empty workflow recognized as pipeline")
+	}
+	single := workflow.New()
+	single.AddModule(workflow.Module{Name: "a", Workload: 1})
+	if !IsPipeline(single) {
+		t.Fatal("single module is a (degenerate) pipeline")
+	}
+}
+
+func TestFromPipelineShape(t *testing.T) {
+	wf := workflow.NewPipeline([]float64{30, 60})
+	cat := cloud.PaperExampleCatalog()
+	m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, K, err := FromPipeline(wf, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Classes) != 2 || len(p.Classes[0]) != 3 {
+		t.Fatalf("problem shape %dx%d", len(p.Classes), len(p.Classes[0]))
+	}
+	// K must dominate every execution time.
+	for i, cls := range p.Classes {
+		for j, it := range cls {
+			if it.Profit <= 0 {
+				t.Fatalf("class %d item %d has non-positive profit (K=%v too small)", i, j, K)
+			}
+			if it.Weight != m.CE[wf.Schedulable()[i]][j] {
+				t.Fatalf("weight mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromPipelineRejectsDAG(t *testing.T) {
+	wf, cat := workflow.PaperExample()
+	m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if _, _, err := FromPipeline(wf, m, 100); err == nil {
+		t.Fatal("non-pipeline accepted")
+	}
+}
+
+// TestTheorem1Equivalence validates the reduction of §IV: on pipelines,
+// the MCKP optimum equals the exhaustive MED-CC optimum, across random
+// instances and budgets.
+func TestTheorem1Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		wl := make([]float64, 2+rng.Intn(5))
+		for i := range wl {
+			wl[i] = 100 + rng.Float64()*900
+		}
+		wf := workflow.NewPipeline(wl)
+		cat := cloud.DiminishingCatalog(3, 3, 1, 0.75)
+		m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmin, cmax := m.BudgetRange(wf)
+		b := cmin + rng.Float64()*(cmax-cmin)
+
+		s, total, err := PipelineOptimal(wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wf.ValidateSchedule(s, len(cat)); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Cost(s); got > b+1e-9 {
+			t.Fatalf("trial %d: MCKP schedule over budget: %v > %v", trial, got, b)
+		}
+		opt, err := sched.Run(&sched.Optimal{}, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total-opt.MED) > 1e-6 {
+			t.Fatalf("trial %d: MCKP total %v != exhaustive optimum %v", trial, total, opt.MED)
+		}
+	}
+}
+
+func TestPipelineOptimalInfeasible(t *testing.T) {
+	wf := workflow.NewPipeline([]float64{10, 10})
+	cat := cloud.PaperExampleCatalog()
+	m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if _, _, err := PipelineOptimal(wf, m, 0.5); err == nil {
+		t.Fatal("infeasible budget accepted")
+	}
+}
+
+// TestGreedyMirrorsGAINOnPipeline sanity-checks that the MCKP greedy's
+// profit never exceeds the optimum on reduction instances generated from
+// real workloads.
+func TestGreedyMirrorsGAINOnPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	wf := gen.Pipeline(rng, 6, 100, 1000)
+	cat := cloud.DiminishingCatalog(4, 3, 1, 0.75)
+	m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	cmin, cmax := m.BudgetRange(wf)
+	p, _, err := FromPipeline(wf, m, (cmin+cmax)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gp, err := SolveGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, op, err := SolveBB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp > op+1e-9 {
+		t.Fatalf("greedy profit %v above optimum %v", gp, op)
+	}
+}

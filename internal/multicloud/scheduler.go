@@ -1,0 +1,149 @@
+package multicloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// ErrInfeasible reports a budget below the least-cost assignment's cost.
+var ErrInfeasible = errors.New("multicloud: budget below minimum feasible cost")
+
+// Result is a budget-feasible multi-cloud assignment with its evaluation.
+type Result struct {
+	Assignment Assignment
+	MED        float64
+	Cost       float64
+}
+
+// costEps absorbs float jitter in cost comparisons, as in package sched.
+const costEps = 1e-9
+
+// Schedule runs the multi-cloud Critical-Greedy: start from the least-cost
+// assignment and greedily upgrade critical modules — possibly moving them
+// across regions — while the budget allows.
+//
+// It generalizes the paper's Critical-Greedy. Because a move now changes
+// the transfer times and egress fees of the module's incident edges, the
+// per-move time decrease is measured on the whole-DAG makespan and the
+// cost delta on the total (execution + transfer) cost: pick the
+// critical-module move with the largest makespan decrease whose total
+// cost increase fits the remaining budget, ties broken toward the smaller
+// cost increase.
+func (f *Fabric) Schedule(w *workflow.Workflow, budget float64) (*Result, error) {
+	a, err := f.LeastCost(w)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := f.Evaluate(w, a)
+	if err != nil {
+		return nil, err
+	}
+	cost := ev.TotalCost()
+	if budget < cost-costEps {
+		return nil, fmt.Errorf("%w: budget %.6g < Cmin %.6g", ErrInfeasible, budget, cost)
+	}
+	for {
+		cextra := budget - cost
+		if cextra <= 0 {
+			break
+		}
+		// Candidates: zero-slack schedulable modules under the
+		// current assignment (transfer-aware timing).
+		var candidates []int
+		for _, i := range w.Schedulable() {
+			if ev.Timing.IsCritical(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		bi, br, bj := -1, -1, -1
+		var bestDM, bestDC float64
+		var bestEv *Evaluation
+		for _, i := range candidates {
+			curR, curT := a.Region[i], a.Type[i]
+			for r := range f.Regions {
+				for j := range f.Regions[r].Types {
+					if r == curR && j == curT {
+						continue
+					}
+					a.Region[i], a.Type[i] = r, j
+					trialEv, err := f.Evaluate(w, a)
+					if err != nil {
+						a.Region[i], a.Type[i] = curR, curT
+						return nil, err
+					}
+					dm := ev.Makespan - trialEv.Makespan
+					dc := trialEv.TotalCost() - cost
+					if dm > dag.Eps && dc <= cextra+costEps {
+						if bi == -1 || dm > bestDM+dag.Eps ||
+							(dm >= bestDM-dag.Eps && dc < bestDC-costEps) {
+							bi, br, bj = i, r, j
+							bestDM, bestDC = dm, dc
+							bestEv = trialEv
+						}
+					}
+				}
+			}
+			a.Region[i], a.Type[i] = curR, curT
+		}
+		if bi == -1 {
+			break
+		}
+		a.Region[bi], a.Type[bi] = br, bj
+		ev = bestEv
+		cost += bestDC
+	}
+	res := &Result{Assignment: a, MED: ev.Makespan, Cost: cost}
+	// Portfolio guard: a greedy that may pay egress early can end worse
+	// than never leaving one region, so the scheduler also evaluates
+	// single-region confinement and returns the better of the two.
+	if len(f.Regions) > 1 {
+		if single, err := f.SingleRegionBest(w, budget); err == nil {
+			if single.MED < res.MED-dag.Eps ||
+				(math.Abs(single.MED-res.MED) <= dag.Eps && single.Cost < res.Cost) {
+				res = single
+			}
+		}
+	}
+	return res, nil
+}
+
+// SingleRegionBest schedules within each region alone (no cross-cloud
+// edges) and returns the best result — the baseline a multi-cloud
+// scheduler must beat to justify paying egress.
+func (f *Fabric) SingleRegionBest(w *workflow.Workflow, budget float64) (*Result, error) {
+	var best *Result
+	var firstErr error
+	for r := range f.Regions {
+		sub := &Fabric{
+			Regions:   []Region{f.Regions[r]},
+			Bandwidth: [][]float64{{0}},
+			Delay:     [][]float64{{0}},
+			Billing:   f.Billing,
+		}
+		res, err := sub.Schedule(w, budget)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Map the region index back to the full fabric.
+		for i := range res.Assignment.Region {
+			if res.Assignment.Region[i] == 0 {
+				res.Assignment.Region[i] = r
+			}
+		}
+		if best == nil || res.MED < best.MED-dag.Eps ||
+			(math.Abs(res.MED-best.MED) <= dag.Eps && res.Cost < best.Cost) {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}

@@ -1,0 +1,138 @@
+package pool
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/workflow"
+)
+
+func TestHBMCTBalancesForkAcrossInstances(t *testing.T) {
+	vt := cloud.VMType{Name: "w", Power: 10, Rate: 1}
+	p := Homogeneous(vt, 3, 0, cloud.HourlyRoundUp)
+	rng := rand.New(rand.NewSource(1))
+	w := gen.ForkJoin(rng, 6, 100, 100) // 6 x 10h branches on 3 instances
+	r, err := HBMCT(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPooledInvariants(t, p, w, r)
+	// Perfect balance: 2 branches per instance -> 1 + 20 + 1.
+	if math.Abs(r.Makespan-22) > 1e-9 {
+		t.Fatalf("makespan %v, want 22", r.Makespan)
+	}
+	counts := map[int]int{}
+	for _, i := range w.Schedulable() {
+		counts[r.Placements[i].Instance]++
+	}
+	for inst, c := range counts {
+		if c != 2 {
+			t.Fatalf("instance %d got %d branches, want 2", inst, c)
+		}
+	}
+}
+
+func TestHBMCTChainStaysOnFastInstance(t *testing.T) {
+	p := &Pool{
+		Instances: []Instance{
+			{Name: "slow", Type: cloud.VMType{Name: "slow", Power: 5, Rate: 1}},
+			{Name: "fast", Type: cloud.VMType{Name: "fast", Power: 20, Rate: 4}},
+		},
+		Billing: cloud.HourlyRoundUp,
+	}
+	w := workflow.NewPipeline([]float64{40, 40, 40})
+	r, err := HBMCT(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPooledInvariants(t, p, w, r)
+	if math.Abs(r.Makespan-6) > 1e-9 { // 3 x 2h on the fast instance
+		t.Fatalf("makespan %v, want 6", r.Makespan)
+	}
+}
+
+func TestHBMCTValidOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		m := 5 + rng.Intn(15)
+		w, err := gen.Random(rng, gen.Params{
+			Modules: m, Edges: rng.Intn(m * (m - 1) / 2),
+			WorkloadMin: 10, WorkloadMax: 100,
+			DataSizeMax: 10, AddEntryExit: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &Pool{Billing: cloud.HourlyRoundUp, Bandwidth: 50}
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			p.Instances = append(p.Instances, Instance{
+				Name: "i",
+				Type: cloud.VMType{Name: "t", Power: 3 + rng.Float64()*20, Rate: 1 + rng.Float64()*5},
+			})
+		}
+		r, err := HBMCT(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPooledInvariants(t, p, w, r)
+		if r.Cost < 0 {
+			t.Fatal("negative cost")
+		}
+	}
+}
+
+// TestHBMCTvsHEFTStatistical compares the two list schedulers over random
+// instances: neither dominates, but both must stay within a reasonable
+// factor of each other and HBMCT should win on wide fork-heavy graphs
+// more often than it loses.
+func TestHBMCTvsHEFTStatistical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	hbmctWins, heftWins := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		m := 10 + rng.Intn(20)
+		w, err := gen.Random(rng, gen.Params{
+			Modules: m, Edges: m + rng.Intn(2*m),
+			WorkloadMin: 50, WorkloadMax: 150,
+			DataSizeMax: 10, AddEntryExit: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Heterogeneous pool: one fast instance next to two slow ones,
+		// where earliest-finish greed and group balancing diverge.
+		p := &Pool{
+			Billing:   cloud.HourlyRoundUp,
+			Bandwidth: 100,
+			Instances: []Instance{
+				{Name: "s1", Type: cloud.VMType{Name: "slow", Power: 10, Rate: 1}},
+				{Name: "s2", Type: cloud.VMType{Name: "slow", Power: 10, Rate: 1}},
+				{Name: "f", Type: cloud.VMType{Name: "fast", Power: 30, Rate: 3}},
+			},
+		}
+		rh, err := HEFT(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := HBMCT(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPooledInvariants(t, p, w, rb)
+		if rb.Makespan < rh.Makespan-1e-9 {
+			hbmctWins++
+		}
+		if rh.Makespan < rb.Makespan-1e-9 {
+			heftWins++
+		}
+		if rb.Makespan > 3*rh.Makespan || rh.Makespan > 3*rb.Makespan {
+			t.Fatalf("trial %d: schedulers diverged wildly: %v vs %v", trial, rb.Makespan, rh.Makespan)
+		}
+	}
+	t.Logf("HBMCT wins %d, HEFT wins %d", hbmctWins, heftWins)
+	if hbmctWins+heftWins == 0 {
+		t.Fatal("HEFT and HBMCT identical on every instance — suspicious")
+	}
+}

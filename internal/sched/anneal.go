@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// Anneal solves MED-CC by simulated annealing: a random walk over type
+// assignments with budget repair, accepting uphill moves with probability
+// exp(-dMED/T) under geometric cooling. Like Genetic it is a
+// population-free metaheuristic baseline — slower than the greedy family,
+// immune to their local minima, and seeded with Critical-Greedy so it
+// never returns anything worse.
+type Anneal struct {
+	// Seed makes runs reproducible; the registry default is 1.
+	Seed int64
+	// Iterations bounds the walk; zero selects the default 4000.
+	Iterations int
+	// Cooling is the geometric factor per iteration; zero selects
+	// 0.999.
+	Cooling float64
+}
+
+// Name implements Scheduler.
+func (a *Anneal) Name() string { return "anneal" }
+
+// Schedule implements Scheduler.
+func (a *Anneal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	if _, _, err := checkFeasible(w, m, budget); err != nil {
+		return nil, err
+	}
+	iters := a.Iterations
+	if iters <= 0 {
+		iters = 4000
+	}
+	cooling := a.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.999
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+	mods := w.Schedulable()
+	n := len(m.Catalog)
+
+	cheapest := make(map[int]int, len(mods))
+	for _, i := range mods {
+		best := 0
+		for j := 1; j < n; j++ {
+			if m.CE[i][j] < m.CE[i][best] {
+				best = j
+			}
+		}
+		cheapest[i] = best
+	}
+	repair := func(s workflow.Schedule) {
+		cost := m.Cost(s)
+		for _, k := range rng.Perm(len(mods)) {
+			if cost <= budget+costEps {
+				return
+			}
+			i := mods[k]
+			if s[i] != cheapest[i] {
+				cost -= m.CE[i][s[i]] - m.CE[i][cheapest[i]]
+				s[i] = cheapest[i]
+			}
+		}
+	}
+	med := func(s workflow.Schedule) float64 {
+		t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
+		if err != nil {
+			return math.Inf(1) // unreachable on a validated workflow
+		}
+		return t.Makespan
+	}
+
+	cur, err := CriticalGreedy().Schedule(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	curMED := med(cur)
+	best := cur.Clone()
+	bestMED := curMED
+
+	// Initial temperature: a few percent of the starting makespan, so
+	// early uphill moves of that scale are plausible.
+	temp := curMED * 0.05
+	if temp <= 0 {
+		temp = 1
+	}
+	for it := 0; it < iters; it++ {
+		trial := cur.Clone()
+		i := mods[rng.Intn(len(mods))]
+		trial[i] = rng.Intn(n)
+		repair(trial)
+		if m.Cost(trial) > budget+costEps {
+			continue // repair could not fit this neighbor
+		}
+		tMED := med(trial)
+		d := tMED - curMED
+		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			cur, curMED = trial, tMED
+			if curMED < bestMED {
+				best, bestMED = cur.Clone(), curMED
+			}
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+func init() {
+	Register("anneal", func() Scheduler { return &Anneal{Seed: 1} })
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// CandidateSet selects which modules a greedy rescheduler may upgrade in
+// each iteration.
+type CandidateSet int
+
+const (
+	// CriticalOnly restricts candidates to modules on the current
+	// critical path (Critical-Greedy's choice, Alg. 1 step 11).
+	CriticalOnly CandidateSet = iota
+	// AllModules considers every schedulable module (GAIN's choice).
+	AllModules
+)
+
+// Criterion ranks candidate (module, type) upgrades.
+type Criterion int
+
+const (
+	// MaxTimeDecrease picks the largest execution time decrease, ties
+	// broken by the minimum cost increase (Alg. 1 step 13).
+	MaxTimeDecrease Criterion = iota
+	// MaxRatio picks the largest time-decrease / cost-increase ratio
+	// (the GainWeight of Sakellariou et al.); free upgrades (zero cost
+	// increase) rank above everything, ordered by time decrease.
+	MaxRatio
+)
+
+// Greedy is the shared rescheduling engine behind Critical-Greedy and the
+// GAIN family: start from the least-cost schedule and repeatedly apply the
+// best affordable upgrade until the leftover budget allows none.
+//
+// The four (CandidateSet, Criterion) combinations are exactly the ablation
+// grid of DESIGN.md: Critical-Greedy is {CriticalOnly, MaxTimeDecrease},
+// GAIN3 is {AllModules, MaxRatio}.
+type Greedy struct {
+	Label      string
+	Candidates CandidateSet
+	Rank       Criterion
+}
+
+// CriticalGreedy returns the paper's Critical-Greedy algorithm (Alg. 1).
+func CriticalGreedy() *Greedy {
+	return &Greedy{Label: "critical-greedy", Candidates: CriticalOnly, Rank: MaxTimeDecrease}
+}
+
+// Name implements Scheduler.
+func (g *Greedy) Name() string { return g.Label }
+
+// Schedule implements Scheduler.
+func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasible(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Catalog)
+	for {
+		cextra := budget - ctmp
+		if cextra <= 0 {
+			break
+		}
+		candidates, err := g.candidates(w, m, s)
+		if err != nil {
+			return nil, err
+		}
+		bi, bj := -1, -1
+		var bestDT, bestDC float64
+		for _, i := range candidates {
+			told := m.TE[i][s[i]]
+			cold := m.CE[i][s[i]]
+			for j := 0; j < n; j++ {
+				if j == s[i] {
+					continue
+				}
+				dt := told - m.TE[i][j] // Eq. 10
+				dc := m.CE[i][j] - cold // Eq. 11
+				if dt <= dag.Eps {
+					continue // not an upgrade
+				}
+				if dc > cextra+costEps {
+					continue // unaffordable
+				}
+				if bi == -1 || g.better(dt, dc, bestDT, bestDC) {
+					bi, bj, bestDT, bestDC = i, j, dt, dc
+				}
+			}
+		}
+		if bi == -1 {
+			break // no affordable rescheduling (Alg. 1 step 14)
+		}
+		s[bi] = bj
+		ctmp += bestDC
+	}
+	return s, nil
+}
+
+// costEps tolerates float jitter in cost arithmetic; costs are sums of
+// products of catalog rates with small integers, so any real violation is
+// far larger.
+const costEps = 1e-9
+
+func (g *Greedy) candidates(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule) ([]int, error) {
+	if g.Candidates == AllModules {
+		return w.Schedulable(), nil
+	}
+	t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, i := range w.Schedulable() {
+		if t.IsCritical(i) {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// better reports whether the candidate (dt, dc) beats the incumbent
+// (bestDT, bestDC) under the configured criterion.
+func (g *Greedy) better(dt, dc, bestDT, bestDC float64) bool {
+	switch g.Rank {
+	case MaxRatio:
+		r, br := ratio(dt, dc), ratio(bestDT, bestDC)
+		if r != br {
+			return r > br
+		}
+		return dt > bestDT+dag.Eps
+	default: // MaxTimeDecrease
+		if dt > bestDT+dag.Eps {
+			return true
+		}
+		if dt < bestDT-dag.Eps {
+			return false
+		}
+		return dc < bestDC-costEps
+	}
+}
+
+// ratio computes the GainWeight dt/dc, treating free or cost-saving
+// upgrades as infinitely attractive.
+func ratio(dt, dc float64) float64 {
+	if dc <= costEps {
+		return math.Inf(1)
+	}
+	return dt / dc
+}
+
+func init() {
+	Register("critical-greedy", func() Scheduler { return CriticalGreedy() })
+	Register("critical-ratio", func() Scheduler {
+		return &Greedy{Label: "critical-ratio", Candidates: CriticalOnly, Rank: MaxRatio}
+	})
+	Register("all-timedec", func() Scheduler {
+		return &Greedy{Label: "all-timedec", Candidates: AllModules, Rank: MaxTimeDecrease}
+	})
+}

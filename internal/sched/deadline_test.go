@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+)
+
+func TestDeadlineLossInfeasible(t *testing.T) {
+	w, m := paperSetup(t)
+	// Fastest makespan of the example is 4.6.
+	if _, err := DeadlineLoss(w, m, 4.0); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := OptimalDeadline(w, m, 4.0, 0); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("optimal err = %v", err)
+	}
+}
+
+func TestDeadlineLossLooseDeadlineReachesLeastCost(t *testing.T) {
+	w, m := paperSetup(t)
+	// With a deadline beyond the least-cost makespan (17.33), every
+	// downgrade is allowed and the greedy must land on Cmin = 48.
+	res, err := DeadlineLoss(w, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 48 {
+		t.Fatalf("cost = %v, want 48", res.Cost)
+	}
+}
+
+func TestDeadlineLossTightDeadlineKeepsFastest(t *testing.T) {
+	w, m := paperSetup(t)
+	res, err := DeadlineLoss(w, m, 4.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MED > 4.6+1e-9 {
+		t.Fatalf("MED %v over deadline", res.MED)
+	}
+	// At the exact fastest makespan some downgrades may still be free
+	// (off-critical modules); cost must not exceed Cmax = 64.
+	if res.Cost > 64 {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+}
+
+func TestDeadlineRespectedOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 10, E: 17, N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		fastEv, _ := wf.Evaluate(m, m.Fastest(wf), nil)
+		lcEv, _ := wf.Evaluate(m, m.LeastCost(wf), nil)
+		for _, frac := range []float64{1.0, 1.2, 1.5, 3.0} {
+			d := fastEv.Makespan * frac
+			res, err := DeadlineLoss(wf, m, d)
+			if err != nil {
+				t.Fatalf("trial %d frac %v: %v", trial, frac, err)
+			}
+			if res.MED > d+1e-9 {
+				t.Fatalf("trial %d: MED %v over deadline %v", trial, res.MED, d)
+			}
+			if res.Cost < lcEv.Cost-1e-9 {
+				t.Fatalf("trial %d: cost %v below Cmin %v — accounting bug", trial, res.Cost, lcEv.Cost)
+			}
+			if res.Cost > fastEv.Cost+1e-9 {
+				t.Fatalf("trial %d: cost %v above fastest cost", trial, res.Cost)
+			}
+		}
+	}
+}
+
+func TestOptimalDeadlineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 8; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 5, E: 6, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		fastEv, _ := wf.Evaluate(m, m.Fastest(wf), nil)
+		lcEv, _ := wf.Evaluate(m, m.LeastCost(wf), nil)
+		d := fastEv.Makespan + rng.Float64()*(lcEv.Makespan-fastEv.Makespan)
+
+		res, err := OptimalDeadline(wf, m, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force the dual.
+		mods := wf.Schedulable()
+		best := math.Inf(1)
+		s := m.LeastCost(wf)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == len(mods) {
+				ev, err := wf.Evaluate(m, s, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev.Makespan <= d+1e-9 && ev.Cost < best {
+					best = ev.Cost
+				}
+				return
+			}
+			for j := range m.Catalog {
+				s[mods[k]] = j
+				rec(k + 1)
+			}
+		}
+		rec(0)
+		if math.Abs(res.Cost-best) > 1e-9 {
+			t.Fatalf("trial %d: optimal-deadline cost %v, brute force %v", trial, res.Cost, best)
+		}
+		if res.MED > d+1e-9 {
+			t.Fatalf("trial %d: MED %v over deadline", trial, res.MED)
+		}
+	}
+}
+
+func TestDeadlineLossNeverBeatsOptimalDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 8; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 6, E: 11, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		fastEv, _ := wf.Evaluate(m, m.Fastest(wf), nil)
+		d := fastEv.Makespan * 1.4
+		heur, err := DeadlineLoss(wf, m, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalDeadline(wf, m, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur.Cost < opt.Cost-1e-9 {
+			t.Fatalf("trial %d: heuristic cost %v below optimum %v", trial, heur.Cost, opt.Cost)
+		}
+	}
+}
+
+// TestBudgetDeadlineDuality traces both sides of the Pareto front on small
+// instances: solving MED-CC optimally at budget B and then solving the
+// dual optimally at the achieved makespan must not cost more than B.
+func TestBudgetDeadlineDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 8; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 5, E: 6, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := cmin + rng.Float64()*(cmax-cmin)
+		primal, err := Run(&Optimal{}, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual, err := OptimalDeadline(wf, m, primal.MED, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dual.Cost > b+1e-9 {
+			t.Fatalf("trial %d: dual cost %v exceeds primal budget %v", trial, dual.Cost, b)
+		}
+		if dual.MED > primal.MED+1e-9 {
+			t.Fatalf("trial %d: dual overshoots the deadline", trial)
+		}
+	}
+}

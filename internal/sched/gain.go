@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"sort"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// GAIN is the budget-spending baseline family of Sakellariou et al.,
+// "Scheduling workflows with budget constraints" (2007), as characterized
+// in the MED-CC paper: start from the least-cost schedule and repeatedly
+// reassign the task with the largest GainWeight — the ratio of time
+// decrease over cost increase — while the leftover budget allows. Each
+// task is reassigned at most once (the weights are defined against the
+// task's current assignment, and a task whose assignment has been upgraded
+// leaves the candidate pool).
+//
+// The variants differ in how the weight is computed and when:
+//
+//   - GAIN1 computes all GainWeights once against the initial least-cost
+//     schedule, sorts the (task, type) upgrades by descending weight, and
+//     applies them in that order, skipping upgrades that no longer fit the
+//     leftover budget or touch an already-upgraded task.
+//   - GAIN2 measures the decrease of the whole-DAG makespan produced by a
+//     tentative reassignment instead of the task-local execution time
+//     (globally aware, quadratically slower).
+//   - GAIN3 re-selects the globally best affordable (task, type) pair at
+//     every iteration using task-local weights. This is the variant the
+//     MED-CC paper compares against ("the modules with large GainWeight,
+//     which is only a local difference ratio, may not have a critical
+//     impact on the entire execution time"), reported as the best
+//     performer of the group.
+//
+// A fourth registry entry, "gain-fixpoint", lifts the once-per-task rule
+// and lets GAIN3 keep re-upgrading tasks until no affordable improving
+// move remains. It is stronger than anything in the 2007 family —
+// effectively a knapsack-style ratio greedy — and is included as an
+// ablation baseline (see DESIGN.md §5).
+type GAIN struct {
+	Variant int // 1, 2 or 3
+}
+
+// Name implements Scheduler.
+func (g *GAIN) Name() string {
+	switch g.Variant {
+	case 1:
+		return "gain1"
+	case 2:
+		return "gain2"
+	default:
+		return "gain3"
+	}
+}
+
+// Schedule implements Scheduler.
+func (g *GAIN) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	switch g.Variant {
+	case 1:
+		return g.staticOrder(w, m, budget)
+	case 2:
+		return g.oncePerTask(w, m, budget, true)
+	default:
+		return g.oncePerTask(w, m, budget, false)
+	}
+}
+
+// staticOrder implements GAIN1: one descending-weight pass over upgrades
+// precomputed against the least-cost schedule.
+func (g *GAIN) staticOrder(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasible(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	type upgrade struct {
+		i, j   int
+		dt, dc float64
+	}
+	var ups []upgrade
+	for _, i := range w.Schedulable() {
+		for j := range m.Catalog {
+			if j == s[i] {
+				continue
+			}
+			dt := m.TE[i][s[i]] - m.TE[i][j]
+			dc := m.CE[i][j] - m.CE[i][s[i]]
+			if dt <= dag.Eps {
+				continue
+			}
+			ups = append(ups, upgrade{i, j, dt, dc})
+		}
+	}
+	sort.SliceStable(ups, func(a, b int) bool {
+		ra, rb := ratio(ups[a].dt, ups[a].dc), ratio(ups[b].dt, ups[b].dc)
+		if ra != rb {
+			return ra > rb
+		}
+		return ups[a].dt > ups[b].dt
+	})
+	moved := make(map[int]bool)
+	for _, u := range ups {
+		if moved[u.i] {
+			continue
+		}
+		if u.dc > budget-ctmp+costEps {
+			continue
+		}
+		s[u.i] = u.j
+		moved[u.i] = true
+		ctmp += u.dc
+	}
+	return s, nil
+}
+
+// oncePerTask implements GAIN2 (makespanWeight true) and GAIN3: pick the
+// best affordable (task, type) pair each iteration, retiring each task
+// after its single reassignment.
+func (g *GAIN) oncePerTask(w *workflow.Workflow, m *workflow.Matrices, budget float64, makespanWeight bool) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasible(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	moved := make(map[int]bool)
+	for {
+		cextra := budget - ctmp
+		if cextra <= 0 {
+			break
+		}
+		var cur *dag.Timing
+		if makespanWeight {
+			t, terr := dag.NewTiming(w.Graph(), m.Times(s), nil)
+			if terr != nil {
+				return nil, terr
+			}
+			cur = t
+		}
+		bi, bj := -1, -1
+		var bestDT, bestDC float64
+		for _, i := range w.Schedulable() {
+			if moved[i] {
+				continue
+			}
+			for j := range m.Catalog {
+				if j == s[i] {
+					continue
+				}
+				dc := m.CE[i][j] - m.CE[i][s[i]]
+				if dc > cextra+costEps {
+					continue
+				}
+				var dt float64
+				if makespanWeight {
+					if m.TE[i][s[i]]-m.TE[i][j] <= dag.Eps {
+						continue
+					}
+					trial := s.Clone()
+					trial[i] = j
+					tt, terr := dag.NewTiming(w.Graph(), m.Times(trial), nil)
+					if terr != nil {
+						return nil, terr
+					}
+					dt = cur.Makespan - tt.Makespan
+				} else {
+					dt = m.TE[i][s[i]] - m.TE[i][j]
+				}
+				if dt <= dag.Eps {
+					continue
+				}
+				if bi == -1 || ratio(dt, dc) > ratio(bestDT, bestDC) ||
+					(ratio(dt, dc) == ratio(bestDT, bestDC) && dt > bestDT+dag.Eps) {
+					bi, bj, bestDT, bestDC = i, j, dt, dc
+				}
+			}
+		}
+		if bi == -1 {
+			break
+		}
+		s[bi] = bj
+		moved[bi] = true
+		ctmp += bestDC
+	}
+	return s, nil
+}
+
+func init() {
+	Register("gain1", func() Scheduler { return &GAIN{Variant: 1} })
+	Register("gain2", func() Scheduler { return &GAIN{Variant: 2} })
+	Register("gain3", func() Scheduler { return &GAIN{Variant: 3} })
+	Register("gain-fixpoint", func() Scheduler {
+		return &Greedy{Label: "gain-fixpoint", Candidates: AllModules, Rank: MaxRatio}
+	})
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"math"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// Gain3WRF is the GAIN3 variant reverse-engineered from the paper's own
+// published outputs: replaying it over the measured WRF matrix (Table VI)
+// under per-second round-up billing regenerates five of the six published
+// S_GAIN3 rows of Table VII exactly, column for column (the sixth row is
+// cost-infeasible as printed; see EXPERIMENTS.md E11).
+//
+// It differs from the literal-reading GAIN (type GAIN) in two ways:
+//
+//   - The GainWeight is the *relative* speedup per unit cost,
+//     (T_old / T_new) / (C_new - C_old), rather than the absolute
+//     time-decrease ratio. This is what sends the budget to the small
+//     branch modules first (large relative speedups, low cost) — the
+//     behaviour the MED-CC paper criticizes in §VI-B3.
+//   - Upgrading is round-based: within a round every task may take at
+//     most one reassignment (the best affordable by weight, chosen
+//     greedily across tasks); rounds repeat until a full round makes no
+//     move. The second round is what upgrades w4 from VT2 to VT3 in the
+//     published B=180.1 and B=186.2 rows.
+type Gain3WRF struct{}
+
+// Name implements Scheduler.
+func (Gain3WRF) Name() string { return "gain3-wrf" }
+
+// Schedule implements Scheduler.
+func (Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasible(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		movedAny := false
+		movedThisRound := make(map[int]bool)
+		for {
+			cextra := budget - ctmp
+			if cextra <= 0 {
+				break
+			}
+			bi, bj := -1, -1
+			best := math.Inf(-1)
+			for _, i := range w.Schedulable() {
+				if movedThisRound[i] {
+					continue
+				}
+				for j := range m.Catalog {
+					if j == s[i] {
+						continue
+					}
+					told, tnew := m.TE[i][s[i]], m.TE[i][j]
+					dc := m.CE[i][j] - m.CE[i][s[i]]
+					if told-tnew <= dag.Eps || dc > cextra+costEps {
+						continue
+					}
+					wt := math.Inf(1)
+					if dc > costEps {
+						wt = (told / tnew) / dc
+					}
+					if wt > best {
+						bi, bj, best = i, j, wt
+					}
+				}
+			}
+			if bi == -1 {
+				break
+			}
+			ctmp += m.CE[bi][bj] - m.CE[bi][s[bi]]
+			s[bi] = bj
+			movedThisRound[bi] = true
+			movedAny = true
+		}
+		if !movedAny {
+			break
+		}
+	}
+	return s, nil
+}
+
+func init() {
+	Register("gain3-wrf", func() Scheduler { return Gain3WRF{} })
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// Genetic is a budget-constrained genetic algorithm in the style of Yu's
+// utility-grid scheduler (the paper's reference [13]): chromosomes are
+// module-to-type mappings, infeasible individuals are repaired by
+// downgrading until the budget holds, and fitness is the analytic MED.
+// It is the population-based baseline in the registry — slower than the
+// greedy family but able to escape their local minima on small and medium
+// instances.
+type Genetic struct {
+	// Seed makes runs reproducible; the registry default is 1.
+	Seed int64
+	// Population and Generations bound the search; zero values select
+	// the defaults (40, 60).
+	Population  int
+	Generations int
+	// MutationRate is the per-gene mutation probability; zero selects
+	// the default 0.05.
+	MutationRate float64
+}
+
+// Name implements Scheduler.
+func (ga *Genetic) Name() string { return "genetic" }
+
+// Schedule implements Scheduler.
+func (ga *Genetic) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	lc, _, err := checkFeasible(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	pop := ga.Population
+	if pop <= 0 {
+		pop = 40
+	}
+	gens := ga.Generations
+	if gens <= 0 {
+		gens = 60
+	}
+	mut := ga.MutationRate
+	if mut <= 0 {
+		mut = 0.05
+	}
+	rng := rand.New(rand.NewSource(ga.Seed))
+	mods := w.Schedulable()
+	n := len(m.Catalog)
+
+	// repair downgrades random over-budget genes toward their cheapest
+	// type until the schedule is feasible. Because the least-cost type
+	// per module exists and the loop only moves genes to it, this
+	// terminates within len(mods) changes.
+	cheapest := make(map[int]int, len(mods))
+	for _, i := range mods {
+		best := 0
+		for j := 1; j < n; j++ {
+			if m.CE[i][j] < m.CE[i][best] {
+				best = j
+			}
+		}
+		cheapest[i] = best
+	}
+	repair := func(s workflow.Schedule) {
+		cost := m.Cost(s)
+		if cost <= budget+costEps {
+			return
+		}
+		perm := rng.Perm(len(mods))
+		for _, k := range perm {
+			i := mods[k]
+			if s[i] == cheapest[i] {
+				continue
+			}
+			cost -= m.CE[i][s[i]] - m.CE[i][cheapest[i]]
+			s[i] = cheapest[i]
+			if cost <= budget+costEps {
+				return
+			}
+		}
+	}
+
+	type indiv struct {
+		s   workflow.Schedule
+		med float64
+	}
+	fitness := func(s workflow.Schedule) float64 {
+		t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
+		if err != nil {
+			return 1e300 // structurally impossible: already validated
+		}
+		return t.Makespan
+	}
+
+	// Seed the population with the least-cost schedule, greedy
+	// solutions, and random feasible individuals.
+	population := make([]indiv, 0, pop)
+	add := func(s workflow.Schedule) {
+		repair(s)
+		population = append(population, indiv{s: s, med: fitness(s)})
+	}
+	add(lc.Clone())
+	if cg, err := CriticalGreedy().Schedule(w, m, budget); err == nil {
+		add(cg)
+	}
+	for len(population) < pop {
+		s := lc.Clone()
+		for _, i := range mods {
+			s[i] = rng.Intn(n)
+		}
+		add(s)
+	}
+
+	tournament := func() indiv {
+		a := population[rng.Intn(len(population))]
+		b := population[rng.Intn(len(population))]
+		if a.med <= b.med {
+			return a
+		}
+		return b
+	}
+
+	best := population[0]
+	for _, ind := range population {
+		if ind.med < best.med {
+			best = ind
+		}
+	}
+	for g := 0; g < gens; g++ {
+		next := make([]indiv, 0, pop)
+		// Elitism: carry the two best forward.
+		sort.SliceStable(population, func(a, b int) bool { return population[a].med < population[b].med })
+		next = append(next, population[0], population[1])
+		for len(next) < pop {
+			p1, p2 := tournament(), tournament()
+			child := p1.s.Clone()
+			for _, i := range mods {
+				if rng.Intn(2) == 0 {
+					child[i] = p2.s[i]
+				}
+				if rng.Float64() < mut {
+					child[i] = rng.Intn(n)
+				}
+			}
+			repair(child)
+			next = append(next, indiv{s: child, med: fitness(child)})
+		}
+		population = next
+		for _, ind := range population {
+			if ind.med < best.med {
+				best = ind
+			}
+		}
+	}
+	return best.s, nil
+}
+
+func init() {
+	Register("genetic", func() Scheduler { return &Genetic{Seed: 1} })
+}

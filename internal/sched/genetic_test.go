@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+)
+
+func TestGeneticInfeasible(t *testing.T) {
+	w, m := paperSetup(t)
+	if _, err := (&Genetic{Seed: 1}).Schedule(w, m, 40); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGeneticRespectsBudgetAndBeatsLeastCost(t *testing.T) {
+	w, m := paperSetup(t)
+	lcEv, _ := w.Evaluate(m, m.LeastCost(w), nil)
+	for _, b := range []float64{50, 57, 64} {
+		res, err := Run(&Genetic{Seed: 1}, w, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > b+1e-9 {
+			t.Fatalf("B=%v: cost %v over budget", b, res.Cost)
+		}
+		if res.MED > lcEv.Makespan+1e-9 {
+			t.Fatalf("B=%v: GA worse than least-cost", b)
+		}
+	}
+}
+
+func TestGeneticMatchesOptimalOnPaperExample(t *testing.T) {
+	w, m := paperSetup(t)
+	for _, b := range []float64{52, 57, 64} {
+		gaRes, err := Run(&Genetic{Seed: 1, Generations: 80}, w, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Run(&Optimal{}, w, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gaRes.MED > opt.MED+1e-9 {
+			// Not guaranteed, but on a 6-module instance with 80
+			// generations the GA should land on the optimum.
+			t.Fatalf("B=%v: GA %v vs optimal %v", b, gaRes.MED, opt.MED)
+		}
+	}
+}
+
+func TestGeneticDeterministicPerSeed(t *testing.T) {
+	w, m := paperSetup(t)
+	a, err := (&Genetic{Seed: 7}).Schedule(w, m, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Genetic{Seed: 7}).Schedule(w, m, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestGeneticOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 4; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 10, E: 17, N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := (cmin + cmax) / 2
+		ga, err := Run(&Genetic{Seed: int64(trial)}, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, err := Run(CriticalGreedy(), wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga.Cost > b+1e-9 {
+			t.Fatalf("trial %d: GA over budget", trial)
+		}
+		// GA is seeded with CG, so it can only match or improve it.
+		if ga.MED > cg.MED+1e-9 {
+			t.Fatalf("trial %d: GA %v worse than its own seed CG %v", trial, ga.MED, cg.MED)
+		}
+		if math.IsNaN(ga.MED) {
+			t.Fatal("NaN MED")
+		}
+	}
+}

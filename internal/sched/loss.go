@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"sort"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// LOSS is the downgrade-direction counterpart of GAIN from Sakellariou et
+// al.: start from the makespan-optimal schedule and repeatedly downgrade
+// the assignment with the smallest LossWeight — time increase per unit of
+// cost saved — until the total cost fits the budget.
+//
+// In the MED-CC model every module runs on its own (unbounded) VM
+// instance, so the makespan-optimal starting schedule produced by HEFT
+// degenerates to mapping each module to its fastest type; Fastest() is
+// therefore the exact HEFT-equivalent starting point here.
+//
+// Variant 1 measures the task-local execution time increase; variant 2
+// measures the whole-DAG makespan increase of a tentative downgrade;
+// variant 3 mirrors GAIN1's static discipline — all LossWeights are
+// computed once against the fastest schedule, downgrades applied in one
+// ascending-weight pass (each task downgraded at most once) and topped up
+// with per-task least-cost drops if the budget still does not hold.
+type LOSS struct {
+	Variant int // 1, 2 or 3
+}
+
+// Name implements Scheduler.
+func (l *LOSS) Name() string {
+	switch l.Variant {
+	case 2:
+		return "loss2"
+	case 3:
+		return "loss3"
+	}
+	return "loss1"
+}
+
+// Schedule implements Scheduler.
+func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	if _, _, err := checkFeasible(w, m, budget); err != nil {
+		return nil, err
+	}
+	if l.Variant == 3 {
+		return l.staticPass(w, m, budget)
+	}
+	s := m.Fastest(w)
+	ctmp := m.Cost(s)
+	for ctmp > budget+costEps {
+		var cur *dag.Timing
+		if l.Variant == 2 {
+			t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
+			if err != nil {
+				return nil, err
+			}
+			cur = t
+		}
+		bi, bj := -1, -1
+		var bestW, bestDC float64
+		for _, i := range w.Schedulable() {
+			for j := range m.Catalog {
+				if j == s[i] {
+					continue
+				}
+				dc := m.CE[i][s[i]] - m.CE[i][j] // cost saved
+				if dc <= costEps {
+					continue
+				}
+				var dt float64 // time lost
+				switch l.Variant {
+				case 2:
+					trial := s.Clone()
+					trial[i] = j
+					tt, err := dag.NewTiming(w.Graph(), m.Times(trial), nil)
+					if err != nil {
+						return nil, err
+					}
+					dt = tt.Makespan - cur.Makespan
+				default:
+					dt = m.TE[i][j] - m.TE[i][s[i]]
+				}
+				if dt < 0 {
+					dt = 0 // cheaper and no slower: ideal downgrade
+				}
+				wgt := dt / dc
+				if bi == -1 || wgt < bestW-dag.Eps ||
+					(wgt <= bestW+dag.Eps && dc > bestDC+costEps) {
+					bi, bj, bestW, bestDC = i, j, wgt, dc
+				}
+			}
+		}
+		if bi == -1 {
+			// No downgrade available yet over budget: impossible,
+			// since Fastest can always be downgraded toward
+			// LeastCost whose cost is <= budget (checked above).
+			break
+		}
+		s[bi] = bj
+		ctmp -= bestDC
+	}
+	return s, nil
+}
+
+// staticPass implements LOSS3: LossWeights precomputed against the
+// fastest schedule, sorted ascending (cheapest time lost per unit saved
+// first), one downgrade per task; if the budget still does not hold after
+// the pass, remaining tasks drop to their least-cost types in weight
+// order, which always lands at or below Cmin <= budget.
+func (l *LOSS) staticPass(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s := m.Fastest(w)
+	ctmp := m.Cost(s)
+	type downgrade struct {
+		i, j   int
+		weight float64
+		save   float64
+	}
+	var downs []downgrade
+	for _, i := range w.Schedulable() {
+		for j := range m.Catalog {
+			if j == s[i] {
+				continue
+			}
+			save := m.CE[i][s[i]] - m.CE[i][j]
+			if save <= costEps {
+				continue
+			}
+			dt := m.TE[i][j] - m.TE[i][s[i]]
+			if dt < 0 {
+				dt = 0
+			}
+			downs = append(downs, downgrade{i, j, dt / save, save})
+		}
+	}
+	sort.SliceStable(downs, func(a, b int) bool {
+		if downs[a].weight != downs[b].weight {
+			return downs[a].weight < downs[b].weight
+		}
+		return downs[a].save > downs[b].save
+	})
+	moved := make(map[int]bool)
+	for _, d := range downs {
+		if ctmp <= budget+costEps {
+			break
+		}
+		if moved[d.i] {
+			continue
+		}
+		ctmp -= m.CE[d.i][s[d.i]] - m.CE[d.i][d.j]
+		s[d.i] = d.j
+		moved[d.i] = true
+	}
+	// Top-up: if one downgrade per task was not enough, fall through to
+	// least-cost types in the same weight order.
+	for _, d := range downs {
+		if ctmp <= budget+costEps {
+			break
+		}
+		save := m.CE[d.i][s[d.i]] - m.CE[d.i][d.j]
+		if save <= costEps {
+			continue
+		}
+		ctmp -= save
+		s[d.i] = d.j
+	}
+	return s, nil
+}
+
+func init() {
+	Register("loss1", func() Scheduler { return &LOSS{Variant: 1} })
+	Register("loss2", func() Scheduler { return &LOSS{Variant: 2} })
+	Register("loss3", func() Scheduler { return &LOSS{Variant: 3} })
+}

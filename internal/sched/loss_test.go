@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/workflow"
+)
+
+func TestLOSSInfeasible(t *testing.T) {
+	w, m := paperSetup(t)
+	for _, v := range []int{1, 2, 3} {
+		if _, err := (&LOSS{Variant: v}).Schedule(w, m, 47); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("LOSS%d err = %v", v, err)
+		}
+	}
+}
+
+func TestLOSSAtCmaxReturnsFastest(t *testing.T) {
+	w, m := paperSetup(t)
+	for _, v := range []int{1, 2, 3} {
+		s, err := (&LOSS{Variant: v}).Schedule(w, m, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(m.Fastest(w)) {
+			t.Fatalf("LOSS%d at Cmax = %v", v, s)
+		}
+	}
+}
+
+func TestLOSSRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 10, E: 17, N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			b := cmin + frac*(cmax-cmin)
+			for _, v := range []int{1, 2, 3} {
+				res, err := Run(&LOSS{Variant: v}, wf, m, b)
+				if err != nil {
+					t.Fatalf("LOSS%d B=%v: %v", v, b, err)
+				}
+				if res.Cost > b+1e-9 {
+					t.Fatalf("LOSS%d overspent: %v > %v", v, res.Cost, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLOSSDowngradePathPrefersLowTimeLoss(t *testing.T) {
+	// Two independent modules at the fastest type; budget forces one
+	// downgrade. On a LossWeight tie the bigger cost saving must win.
+	cat := cloud.Catalog{
+		{Name: "slow", Power: 1, Rate: 0.1},
+		{Name: "fast", Power: 10, Rate: 4},
+	}
+	w := workflow.New()
+	w.AddModule(workflow.Module{Name: "w0", Workload: 60})
+	w.AddModule(workflow.Module{Name: "w1", Workload: 10})
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fastest: w0 $24, w1 $4 (total 28). least-cost: w0 $6, w1 $1.
+	// Downgrading w1 saves 3, loses 9h; w0 saves 18, loses 54h.
+	// LossWeights: w1 9/3 = 3; w0 54/18 = 3. Tie -> larger saving (w0).
+	b := 28.0 - 4 // force roughly one downgrade
+	s, err := (&LOSS{Variant: 1}).Schedule(w, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 0 || s[1] != 1 {
+		t.Fatalf("schedule = %v, want w0 downgraded (bigger saving on tie)", s)
+	}
+}
+
+func TestLOSSNeverSlowerThanCGAtSameBudgetOnPipeline(t *testing.T) {
+	// On a pipeline every module is critical, so CG and LOSS explore the
+	// same structure from opposite ends; both must respect the budget
+	// and produce comparable MEDs (neither dominates in general, but
+	// both must beat the least-cost schedule when budget allows).
+	rng := rand.New(rand.NewSource(3))
+	wf := gen.Pipeline(rng, 6, 100, 1000)
+	cat := cloud.DiminishingCatalog(4, 3, 1, 0.75)
+	m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmin, cmax := m.BudgetRange(wf)
+	lcEv, _ := wf.Evaluate(m, m.LeastCost(wf), nil)
+	b := (cmin + cmax) / 2
+	for _, name := range []string{"critical-greedy", "loss1", "loss2", "loss3"} {
+		sc, _ := Get(name)
+		res, err := Run(sc, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MED > lcEv.Makespan+1e-9 {
+			t.Fatalf("%s MED %v worse than least-cost %v", name, res.MED, lcEv.Makespan)
+		}
+		if math.IsNaN(res.MED) {
+			t.Fatalf("%s produced NaN", name)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"math"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// Optimal solves MED-CC exactly by depth-first search over all type
+// assignments with branch-and-bound pruning. MED-CC is NP-complete
+// (Theorem 1 of the paper), so this is only practical for the small
+// instances of the paper's optimality study (m <= ~10, n = 3); the
+// MaxNodes guard keeps runaway instances from hanging.
+type Optimal struct {
+	// MaxNodes bounds the number of search nodes expanded; 0 means the
+	// default of 50 million. When exceeded the incumbent (possibly
+	// non-optimal) schedule is returned.
+	MaxNodes int64
+}
+
+// Name implements Scheduler.
+func (o *Optimal) Name() string { return "optimal" }
+
+// Schedule implements Scheduler. It returns a schedule with the minimum
+// makespan among all schedules of cost <= budget; ties are broken toward
+// lower cost.
+func (o *Optimal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	lc, _, err := checkFeasible(w, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	mods := w.Schedulable()
+	n := len(m.Catalog)
+
+	// Per-position cheapest remaining cost (budget bound) and fastest
+	// type (makespan bound).
+	minCost := make([]float64, len(mods))
+	fastest := make([]int, len(mods))
+	for k, i := range mods {
+		minCost[k] = math.Inf(1)
+		best := 0
+		for j := 0; j < n; j++ {
+			if m.CE[i][j] < minCost[k] {
+				minCost[k] = m.CE[i][j]
+			}
+			if m.TE[i][j] < m.TE[i][best] {
+				best = j
+			}
+		}
+		fastest[k] = best
+	}
+	suffixMin := make([]float64, len(mods)+1)
+	for k := len(mods) - 1; k >= 0; k-- {
+		suffixMin[k] = suffixMin[k+1] + minCost[k]
+	}
+
+	// Incumbent: the least-cost schedule, always feasible here.
+	bestS := lc.Clone()
+	evBest, err := w.Evaluate(m, bestS, nil)
+	if err != nil {
+		return nil, err
+	}
+	bestMED, bestCost := evBest.Makespan, evBest.Cost
+
+	limit := o.MaxNodes
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	var expanded int64
+
+	cur := lc.Clone()
+	// makespanLB: lower bound on the makespan of any completion of the
+	// current prefix — unassigned modules run at their fastest type.
+	makespanLB := func(depth int) float64 {
+		trial := cur.Clone()
+		for k := depth; k < len(mods); k++ {
+			trial[mods[k]] = fastest[k]
+		}
+		t, terr := dag.NewTiming(w.Graph(), m.Times(trial), nil)
+		if terr != nil {
+			return 0 // unreachable: structure validated above
+		}
+		return t.Makespan
+	}
+
+	var dfs func(depth int, cost float64)
+	dfs = func(depth int, cost float64) {
+		expanded++
+		if expanded > limit {
+			return
+		}
+		if cost+suffixMin[depth] > budget+costEps {
+			return // cannot finish within budget
+		}
+		if depth == len(mods) {
+			t, terr := dag.NewTiming(w.Graph(), m.Times(cur), nil)
+			if terr != nil {
+				return
+			}
+			if t.Makespan < bestMED-dag.Eps ||
+				(t.Makespan <= bestMED+dag.Eps && cost < bestCost-costEps) {
+				bestMED, bestCost = t.Makespan, cost
+				bestS = cur.Clone()
+			}
+			return
+		}
+		if makespanLB(depth) > bestMED+dag.Eps {
+			return // even the all-fastest completion loses
+		}
+		i := mods[depth]
+		for j := 0; j < n; j++ {
+			cur[i] = j
+			dfs(depth+1, cost+m.CE[i][j])
+		}
+	}
+	dfs(0, 0)
+	return bestS, nil
+}
+
+func init() {
+	Register("optimal", func() Scheduler { return &Optimal{} })
+}

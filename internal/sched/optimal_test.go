@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/dag"
+	"medcc/internal/gen"
+	"medcc/internal/workflow"
+)
+
+// bruteForce enumerates every assignment without pruning — the reference
+// oracle for Optimal.
+func bruteForce(t *testing.T, w *workflow.Workflow, m *workflow.Matrices, budget float64) (float64, float64) {
+	t.Helper()
+	mods := w.Schedulable()
+	n := len(m.Catalog)
+	s := m.LeastCost(w)
+	bestMED, bestCost := math.Inf(1), math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(mods) {
+			cost := m.Cost(s)
+			if cost > budget+1e-9 {
+				return
+			}
+			tm, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tm.Makespan < bestMED-1e-9 ||
+				(tm.Makespan <= bestMED+1e-9 && cost < bestCost-1e-9) {
+				bestMED, bestCost = tm.Makespan, cost
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			s[mods[k]] = j
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return bestMED, bestCost
+}
+
+func TestOptimalInfeasible(t *testing.T) {
+	w, m := paperSetup(t)
+	if _, err := (&Optimal{}).Schedule(w, m, 10); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOptimalMatchesBruteForceOnPaperExample(t *testing.T) {
+	w, m := paperSetup(t)
+	for _, b := range []float64{48, 50, 53, 57, 61, 64} {
+		res, err := Run(&Optimal{}, w, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMED, wantCost := bruteForce(t, w, m, b)
+		if math.Abs(res.MED-wantMED) > 1e-9 {
+			t.Fatalf("B=%v: optimal MED %v, brute force %v", b, res.MED, wantMED)
+		}
+		if math.Abs(res.Cost-wantCost) > 1e-9 {
+			t.Fatalf("B=%v: optimal cost %v, brute force %v", b, res.Cost, wantCost)
+		}
+	}
+}
+
+func TestOptimalMatchesBruteForceOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 5, E: 6, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := cmin + rng.Float64()*(cmax-cmin)
+		res, err := Run(&Optimal{}, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMED, _ := bruteForce(t, wf, m, b)
+		if math.Abs(res.MED-wantMED) > 1e-9 {
+			t.Fatalf("trial %d B=%v: optimal %v != brute force %v", trial, b, res.MED, wantMED)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	algs := []string{"critical-greedy", "gain1", "gain2", "gain3", "gain-fixpoint", "loss1", "loss2"}
+	for trial := 0; trial < 8; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 6, E: 11, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := (cmin + cmax) / 2
+		opt, err := Run(&Optimal{}, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range algs {
+			sc, _ := Get(name)
+			res, err := Run(sc, wf, m, b)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if opt.MED > res.MED+1e-9 {
+				t.Fatalf("trial %d: optimal MED %v worse than %s %v", trial, opt.MED, name, res.MED)
+			}
+		}
+	}
+}
+
+func TestOptimalTieBreaksTowardLowerCost(t *testing.T) {
+	// Two types, identical times, different costs: the optimum must
+	// pick the cheap one even with budget to spare.
+	cat := cloud.Catalog{
+		{Name: "cheap", Power: 5, Rate: 1},
+		{Name: "pricey", Power: 5, Rate: 7},
+	}
+	w := workflow.New()
+	w.AddModule(workflow.Module{Name: "m", Workload: 10})
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&Optimal{}, w, m, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule[0] != 0 {
+		t.Fatalf("optimal chose pricey type at equal makespan: %v", res.Schedule)
+	}
+}
+
+func TestOptimalMaxNodesGuardStillFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 8, E: 18, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	cmin, cmax := m.BudgetRange(wf)
+	b := (cmin + cmax) / 2
+	res, err := Run(&Optimal{MaxNodes: 10}, wf, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a starved node budget the search returns the incumbent
+	// (least-cost) schedule, which is still budget-feasible.
+	if res.Cost > b+1e-9 {
+		t.Fatalf("guarded optimal overspent: %v > %v", res.Cost, b)
+	}
+}

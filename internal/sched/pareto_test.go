@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/dag"
+	"medcc/internal/gen"
+)
+
+func checkFront(t *testing.T, front []ParetoPoint) {
+	t.Helper()
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for k := 1; k < len(front); k++ {
+		if front[k].Cost <= front[k-1].Cost {
+			t.Fatalf("front not increasing in cost at %d", k)
+		}
+		if front[k].MED >= front[k-1].MED {
+			t.Fatalf("front not decreasing in MED at %d", k)
+		}
+	}
+}
+
+func TestParetoFrontPaperExample(t *testing.T) {
+	w, m := paperSetup(t)
+	front, err := ParetoFront(&Optimal{}, w, m, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFront(t, front)
+	// The exact front starts at the least-cost point and ends at the
+	// fastest point of the example.
+	first, last := front[0], front[len(front)-1]
+	if first.Cost != 48 {
+		t.Fatalf("front starts at cost %v, want 48", first.Cost)
+	}
+	if last.MED > 4.6+1e-9 {
+		t.Fatalf("front ends at MED %v, want <= 4.6", last.MED)
+	}
+}
+
+func TestParetoFrontHeuristicAboveOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 6, E: 11, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	heur, err := ParetoFront(CriticalGreedy(), wf, m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ParetoFront(&Optimal{}, wf, m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFront(t, heur)
+	checkFront(t, exact)
+	// No heuristic point may dominate the true optimum at its own
+	// spend: scheduling optimally with budget = the heuristic point's
+	// cost must be at least as fast.
+	for _, h := range heur {
+		opt, err := Run(&Optimal{}, wf, m, h.Cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.MED < opt.MED-dag.Eps {
+			t.Fatalf("heuristic point (%v, %v) beats the optimum %v at the same spend",
+				h.Cost, h.MED, opt.MED)
+		}
+	}
+}
+
+func TestParetoFrontDegeneratePoints(t *testing.T) {
+	w, m := paperSetup(t)
+	front, err := ParetoFront(CriticalGreedy(), w, m, 1) // clamped to 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFront(t, front)
+}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+)
+
+// TestAllSchedulersBudgetInvariant checks the core safety property of every
+// registered algorithm over random instances: feasible budgets yield
+// schedules within budget; budgets below Cmin yield ErrInfeasible.
+func TestAllSchedulersBudgetInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 9, E: 15, N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		for _, name := range Names() {
+			sc, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "optimal" && trial >= 3 {
+				continue // keep the exhaustive search cheap
+			}
+			for _, frac := range []float64{0, 0.3, 0.7, 1, 1.5} {
+				b := cmin + frac*(cmax-cmin)
+				res, err := Run(sc, wf, m, b)
+				if err != nil {
+					t.Fatalf("trial %d %s B=%v: %v", trial, name, b, err)
+				}
+				if res.Cost > b+1e-9 {
+					t.Fatalf("trial %d: %s overspent %v > %v", trial, name, res.Cost, b)
+				}
+				if math.IsNaN(res.MED) || res.MED <= 0 {
+					t.Fatalf("trial %d: %s MED = %v", trial, name, res.MED)
+				}
+			}
+			if _, err := sc.Schedule(wf, m, cmin-1); err == nil {
+				t.Fatalf("%s accepted infeasible budget", name)
+			}
+		}
+	}
+}
+
+// TestCGEnvelopeQuick is the property-based form of the Fig. 6 staircase,
+// weakened to what a greedy actually guarantees: CG never beats the
+// least-cost MED ceiling from above or spends over budget, and its two
+// endpoints are ordered — at B = Cmin it returns the least-cost schedule,
+// at B >= Cmax it reaches the fastest schedule's makespan. (Strict
+// monotonicity between arbitrary budgets does NOT hold for greedy
+// reschedulers: a larger budget can bait the max-ΔT rule onto a worse
+// trajectory. Verified non-monotone on seed -473611300228860469.)
+func TestCGEnvelopeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 7, E: 12, N: 3})
+		if err != nil {
+			return false
+		}
+		m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		if err != nil {
+			return false
+		}
+		cmin, cmax := m.BudgetRange(wf)
+		lcEv, err := wf.Evaluate(m, m.LeastCost(wf), nil)
+		if err != nil {
+			return false
+		}
+		fastEv, err := wf.Evaluate(m, m.Fastest(wf), nil)
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= 10; k++ {
+			b := cmin + float64(k)/10*(cmax-cmin)
+			res, err := Run(CriticalGreedy(), wf, m, b)
+			if err != nil {
+				return false
+			}
+			if res.Cost > b+1e-9 || res.MED > lcEv.Makespan+1e-9 {
+				return false
+			}
+		}
+		atMin, err := Run(CriticalGreedy(), wf, m, cmin)
+		if err != nil || math.Abs(atMin.MED-lcEv.Makespan) > 1e-9 {
+			return false
+		}
+		atMax, err := Run(CriticalGreedy(), wf, m, cmax)
+		if err != nil || math.Abs(atMax.MED-fastEv.Makespan) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCGBoundedByLeastCostAndOptimal sandwiches CG between the least-cost
+// schedule's MED (upper bound) and the optimum (lower bound).
+func TestCGBoundedByLeastCostAndOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 6, E: 9, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := cmin + rng.Float64()*(cmax-cmin)
+		lcEv, _ := wf.Evaluate(m, m.LeastCost(wf), nil)
+		cg, err := Run(CriticalGreedy(), wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Run(&Optimal{}, wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cg.MED > lcEv.Makespan+1e-9 {
+			t.Fatalf("trial %d: CG %v worse than least-cost %v", trial, cg.MED, lcEv.Makespan)
+		}
+		if cg.MED < opt.MED-1e-9 {
+			t.Fatalf("trial %d: CG %v beats 'optimal' %v — optimal is broken", trial, cg.MED, opt.MED)
+		}
+	}
+}
+
+// TestBillingPolicyAblation verifies the DESIGN.md §5 observation: moving
+// from hourly round-up to exact billing shrinks Cmin (no rounding
+// overhead) and never hurts the achievable MED at a given budget.
+func TestBillingPolicyAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 10, E: 17, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hourly, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	exact, _ := wf.BuildMatrices(cat, cloud.Exact{})
+	hc, _ := hourly.BudgetRange(wf)
+	ec, _ := exact.BudgetRange(wf)
+	if ec > hc+1e-9 {
+		t.Fatalf("exact Cmin %v above hourly Cmin %v", ec, hc)
+	}
+	b := hc * 1.1
+	hres, err := Run(CriticalGreedy(), wf, hourly, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := Run(CriticalGreedy(), wf, exact, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under exact billing every upgrade is cheaper or equal, so CG can
+	// afford at least as much speed.
+	if eres.MED > hres.MED+1e-9 {
+		t.Fatalf("exact billing MED %v worse than hourly %v", eres.MED, hres.MED)
+	}
+}

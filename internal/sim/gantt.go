@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderGantt draws the run as a fixed-width ASCII Gantt chart, one row
+// per module, time flowing left to right across `width` columns. Ready
+// time appears as dots (waiting for inputs or a VM), execution as '#'.
+// Rows carry the module name and its VM instance, so reuse chains are
+// visible as stacked rows sharing a VM id.
+func (r *Result) RenderGantt(w io.Writer, names []string, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if r.Makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty run)")
+		return err
+	}
+	scale := float64(width) / r.Makespan
+	col := func(t float64) int {
+		c := int(t * scale)
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	for i, tr := range r.Modules {
+		name := fmt.Sprintf("m%d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		vm := "-"
+		if tr.VM >= 0 {
+			vm = fmt.Sprintf("vm%d", tr.VM)
+		}
+		row := make([]byte, width)
+		for k := range row {
+			row[k] = ' '
+		}
+		readyCol, startCol, endCol := col(tr.Ready), col(tr.Start), col(tr.Finish)
+		for k := readyCol; k < startCol && k < width; k++ {
+			row[k] = '.'
+		}
+		for k := startCol; k < endCol && k < width; k++ {
+			row[k] = '#'
+		}
+		// A zero-width execution still deserves one mark.
+		if startCol == endCol && startCol < width && tr.Finish >= tr.Start {
+			row[startCol] = '#'
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %-5s |%s| %8.2f..%-8.2f\n",
+			truncate(name, 14), vm, string(row), tr.Start, tr.Finish); err != nil {
+			return err
+		}
+	}
+	ruler := strings.Repeat("-", width)
+	_, err := fmt.Fprintf(w, "%-14s %-5s |%s| makespan %.2f, cost %.2f\n", "", "", ruler, r.Makespan, r.Cost)
+	return err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "~"
+}

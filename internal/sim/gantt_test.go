@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderGantt(t *testing.T) {
+	cfg, _ := paperConfig(t, 57)
+	cfg.BootTime = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, cfg.Workflow.NumModules())
+	for i := range names {
+		names[i] = cfg.Workflow.Module(i).Name
+	}
+	var sb strings.Builder
+	if err := res.RenderGantt(&sb, names, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"w0", "w3", "makespan", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != cfg.Workflow.NumModules()+1 {
+		t.Fatalf("%d lines for %d modules", len(lines), cfg.Workflow.NumModules())
+	}
+	// Boot delay shows as waiting dots on at least one row.
+	if !strings.Contains(out, ".") {
+		t.Fatal("no waiting time rendered despite boot delay")
+	}
+}
+
+func TestRenderGanttDegenerate(t *testing.T) {
+	var sb strings.Builder
+	empty := &Result{}
+	if err := empty.RenderGantt(&sb, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty run not reported")
+	}
+	if got := truncate("abcdefghij", 5); got != "abcd~" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("ab", 5); got != "ab" {
+		t.Fatalf("truncate = %q", got)
+	}
+}

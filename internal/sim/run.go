@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"medcc/internal/workflow"
+)
+
+// Config describes one simulated execution of a scheduled workflow.
+type Config struct {
+	// Workflow, Matrices and Schedule define what runs where; the
+	// schedule must be valid for the matrices' catalog.
+	Workflow *workflow.Workflow
+	Matrices *workflow.Matrices
+	Schedule workflow.Schedule
+
+	// BootTime is the VM startup latency T(I_j), applied between a
+	// VM's just-in-time provisioning and its first module start.
+	BootTime float64
+
+	// Reuse optionally packs modules onto shared VM instances (from
+	// workflow.PlanReuse). Nil provisions one VM per schedulable
+	// module, the paper's one-to-one mapping baseline.
+	Reuse *workflow.ReusePlan
+
+	// Bandwidth and Delay model shared-storage data transfers: each
+	// dependency edge moves DataSize units at Bandwidth plus Delay.
+	// Bandwidth <= 0 means transfers are free (intra-datacenter model).
+	Bandwidth, Delay float64
+
+	// TransferSlots bounds concurrent data transfers through the
+	// shared storage (its ingest channels); 0 means unlimited. Excess
+	// transfers queue FIFO, modeling storage contention on wide
+	// fan-outs.
+	TransferSlots int
+}
+
+// ModuleTrace records one module's simulated lifecycle.
+type ModuleTrace struct {
+	Ready  float64 // all inputs arrived
+	Start  float64 // execution began (VM ready and free)
+	Finish float64 // execution ended
+	VM     int     // VM instance index (-1 for fixed modules)
+}
+
+// VMTrace records one VM instance's lifecycle and bill.
+type VMTrace struct {
+	Type      int     // catalog index
+	BootAt    float64 // provisioning request time
+	ReadyAt   float64 // boot completed
+	StoppedAt float64 // terminated after its last module
+	Cost      float64 // billed under the matrices' billing policy
+	Modules   []int   // executed modules in order
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Makespan float64
+	Cost     float64
+	Modules  []ModuleTrace
+	VMs      []VMTrace
+	Events   int64
+}
+
+// Run simulates the configured execution and returns its trace.
+func Run(cfg Config) (*Result, error) {
+	w, m, s := cfg.Workflow, cfg.Matrices, cfg.Schedule
+	if w == nil || m == nil {
+		return nil, fmt.Errorf("sim: nil workflow or matrices")
+	}
+	if err := w.ValidateSchedule(s, len(m.Catalog)); err != nil {
+		return nil, err
+	}
+	if cfg.BootTime < 0 || math.IsNaN(cfg.BootTime) {
+		return nil, fmt.Errorf("sim: invalid boot time %v", cfg.BootTime)
+	}
+	g := w.Graph()
+	n := w.NumModules()
+	times := m.Times(s)
+
+	// vmOf maps module -> VM instance; vmType maps instance -> type.
+	var vmOf []int
+	var vmMods [][]int
+	if cfg.Reuse != nil {
+		vmOf = cfg.Reuse.VMOf
+		vmMods = cfg.Reuse.ModulesOf
+	} else {
+		vmOf = make([]int, n)
+		for i := range vmOf {
+			vmOf[i] = -1
+		}
+		for _, i := range w.Schedulable() {
+			vmOf[i] = len(vmMods)
+			vmMods = append(vmMods, []int{i})
+		}
+	}
+
+	res := &Result{
+		Modules: make([]ModuleTrace, n),
+		VMs:     make([]VMTrace, len(vmMods)),
+	}
+	for i := range res.Modules {
+		res.Modules[i] = ModuleTrace{Ready: -1, Start: -1, Finish: -1, VM: vmOf[i]}
+	}
+	for v := range res.VMs {
+		first := vmMods[v][0]
+		res.VMs[v] = VMTrace{Type: s[first], BootAt: -1, ReadyAt: -1, StoppedAt: -1}
+	}
+
+	var sm Simulation
+	pendingIn := make([]int, n) // unarrived inputs per module
+	for i := 0; i < n; i++ {
+		pendingIn[i] = g.InDegree(i)
+	}
+	vmNext := make([]int, len(vmMods))  // next position in vmMods[v]
+	vmFree := make([]bool, len(vmMods)) // VM idle and booted
+	done := 0
+
+	var onReady func(i int)
+	var tryStart func(v int)
+	var onFinish func(i int)
+
+	// startModule begins execution of module i now.
+	startModule := func(i int) {
+		res.Modules[i].Start = sm.Now()
+		d := times[i]
+		if err := sm.Schedule(d, func() { onFinish(i) }); err != nil {
+			panic(err) // times validated non-negative by matrices
+		}
+	}
+
+	// tryStart dispatches the next planned module on VM v if it is
+	// booted, idle, and that module's inputs have arrived. Reused VMs
+	// run their modules in plan order (EST order), which is compatible
+	// with precedence by construction of the reuse plan.
+	tryStart = func(v int) {
+		if !vmFree[v] || vmNext[v] >= len(vmMods[v]) {
+			return
+		}
+		i := vmMods[v][vmNext[v]]
+		if res.Modules[i].Ready < 0 {
+			return // inputs not yet arrived
+		}
+		vmFree[v] = false
+		vmNext[v]++
+		res.VMs[v].Modules = append(res.VMs[v].Modules, i)
+		startModule(i)
+	}
+
+	// onReady fires when all inputs of module i have arrived.
+	onReady = func(i int) {
+		res.Modules[i].Ready = sm.Now()
+		if w.Module(i).Fixed {
+			// Fixed entry/exit modules run outside any VM.
+			startModule(i)
+			return
+		}
+		v := vmOf[i]
+		if res.VMs[v].BootAt < 0 {
+			// Just-in-time provisioning: first demand boots the VM.
+			res.VMs[v].BootAt = sm.Now()
+			if err := sm.Schedule(cfg.BootTime, func() {
+				res.VMs[v].ReadyAt = sm.Now()
+				vmFree[v] = true
+				tryStart(v)
+			}); err != nil {
+				panic(err) // BootTime validated above
+			}
+			return
+		}
+		tryStart(v)
+	}
+
+	transferTime := func(u, v int) float64 {
+		if cfg.Bandwidth <= 0 {
+			return 0
+		}
+		ds := w.DataSize(u, v)
+		if ds == 0 {
+			return 0
+		}
+		return ds/cfg.Bandwidth + cfg.Delay
+	}
+
+	// Transfer channel manager: zero-duration transfers bypass it;
+	// others occupy one of TransferSlots (unlimited when 0), queueing
+	// FIFO while the storage fabric is saturated.
+	xferBusy := 0
+	var xferQueue []func()
+	var startTransfer func(duration float64, done func())
+	startTransfer = func(duration float64, done func()) {
+		if duration <= 0 || cfg.TransferSlots <= 0 {
+			if err := sm.Schedule(duration, done); err != nil {
+				panic(err) // durations validated non-negative
+			}
+			return
+		}
+		if xferBusy >= cfg.TransferSlots {
+			xferQueue = append(xferQueue, func() { startTransfer(duration, done) })
+			return
+		}
+		xferBusy++
+		if err := sm.Schedule(duration, func() {
+			xferBusy--
+			done()
+			if len(xferQueue) > 0 && xferBusy < cfg.TransferSlots {
+				next := xferQueue[0]
+				xferQueue = xferQueue[1:]
+				next()
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	onFinish = func(i int) {
+		res.Modules[i].Finish = sm.Now()
+		if sm.Now() > res.Makespan {
+			res.Makespan = sm.Now()
+		}
+		done++
+		if !w.Module(i).Fixed {
+			v := vmOf[i]
+			vmFree[v] = true
+			if vmNext[v] >= len(vmMods[v]) {
+				// Last planned module done: terminate and bill.
+				res.VMs[v].StoppedAt = sm.Now()
+				occ := sm.Now() - res.VMs[v].BootAt
+				res.VMs[v].Cost = m.Billing.BilledTime(occ) * m.Catalog[res.VMs[v].Type].Rate
+				res.Cost += res.VMs[v].Cost
+			} else {
+				tryStart(v)
+			}
+		}
+		// Output transfers release successors.
+		for _, succ := range g.Succ(i) {
+			succ := succ
+			startTransfer(transferTime(i, succ), func() {
+				pendingIn[succ]--
+				if pendingIn[succ] == 0 {
+					onReady(succ)
+				}
+			})
+		}
+	}
+
+	// Kick off the sources.
+	for i := 0; i < n; i++ {
+		if g.InDegree(i) == 0 {
+			i := i
+			if err := sm.Schedule(0, func() { onReady(i) }); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := sm.Run(0); err != nil {
+		return nil, err
+	}
+	if done != n {
+		return nil, fmt.Errorf("sim: deadlock — %d of %d modules completed", done, n)
+	}
+	res.Events = sm.Processed()
+	return res, nil
+}

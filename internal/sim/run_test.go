@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+func paperConfig(t *testing.T, budget float64) (Config, *sched.Result) {
+	t.Helper()
+	w, cat := workflow.PaperExample()
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Workflow: w, Matrices: m, Schedule: res.Schedule}, res
+}
+
+// TestSimMatchesAnalyticModel is the A2 validation: with zero boot time,
+// free transfers and one VM per module, the event-driven replay must agree
+// exactly with the analytic makespan and cost.
+func TestSimMatchesAnalyticModel(t *testing.T) {
+	for _, b := range []float64{48, 50, 52, 57, 64} {
+		cfg, want := paperConfig(t, b)
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("B=%v: %v", b, err)
+		}
+		if math.Abs(got.Makespan-want.MED) > 1e-9 {
+			t.Errorf("B=%v: sim makespan %v, analytic %v", b, got.Makespan, want.MED)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Errorf("B=%v: sim cost %v, analytic %v", b, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestSimMatchesAnalyticOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 15; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 15, E: 40, N: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		res, err := sched.Run(sched.CriticalGreedy(), wf, m, cmin+rng.Float64()*(cmax-cmin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(Config{Workflow: wf, Matrices: m, Schedule: res.Schedule})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Makespan-res.MED) > 1e-6 {
+			t.Fatalf("trial %d: sim %v vs analytic %v", trial, got.Makespan, res.MED)
+		}
+		if math.Abs(got.Cost-res.Cost) > 1e-6 {
+			t.Fatalf("trial %d: sim cost %v vs analytic %v", trial, got.Cost, res.Cost)
+		}
+	}
+}
+
+func TestSimBootTimeDelaysMakespan(t *testing.T) {
+	cfg, want := paperConfig(t, 57)
+	cfg.BootTime = 0.25
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan <= want.MED {
+		t.Fatalf("boot time did not delay: %v <= %v", got.Makespan, want.MED)
+	}
+	// Boot happens once per VM on a path; with entry+two modules on the
+	// deepest chain, the delay is bounded by depth * boot.
+	if got.Makespan > want.MED+6*0.25+1e-9 {
+		t.Fatalf("boot delay too large: %v vs %v", got.Makespan, want.MED)
+	}
+}
+
+func TestSimTransfersDelayMakespan(t *testing.T) {
+	cfg, want := paperConfig(t, 57)
+	cfg.Bandwidth = 1 // data sizes 1-4 per edge
+	cfg.Delay = 0.1
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan <= want.MED {
+		t.Fatalf("transfers did not delay: %v <= %v", got.Makespan, want.MED)
+	}
+}
+
+func TestSimPrecedenceRespected(t *testing.T) {
+	cfg, _ := paperConfig(t, 57)
+	cfg.BootTime = 0.5
+	cfg.Bandwidth = 2
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Workflow.Graph()
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Succ(u) {
+			if got.Modules[v].Start < got.Modules[u].Finish-1e-9 {
+				t.Fatalf("module %d started before predecessor %d finished", v, u)
+			}
+		}
+	}
+	for i := range got.Modules {
+		tr := got.Modules[i]
+		if tr.Ready < 0 || tr.Start < tr.Ready-1e-9 || tr.Finish < tr.Start {
+			t.Fatalf("module %d trace inconsistent: %+v", i, tr)
+		}
+	}
+}
+
+func TestSimVMReuseReducesVMsAndCost(t *testing.T) {
+	w, cat := workflow.PaperExample()
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := w.Evaluate(m, res.Schedule, nil)
+	plan := w.PlanReuse(res.Schedule, ev.Timing, workflow.ReuseByInterval)
+
+	noReuse, err := Run(Config{Workflow: w, Matrices: m, Schedule: res.Schedule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse, err := Run(Config{Workflow: w, Matrices: m, Schedule: res.Schedule, Reuse: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reuse.VMs) >= len(noReuse.VMs) {
+		t.Fatalf("reuse provisioned %d VMs vs %d without", len(reuse.VMs), len(noReuse.VMs))
+	}
+	if math.Abs(reuse.Makespan-noReuse.Makespan) > 1e-9 {
+		t.Fatalf("reuse changed makespan: %v vs %v", reuse.Makespan, noReuse.Makespan)
+	}
+	// Billing merges idle gaps; with hourly rounding the merged bill is
+	// never higher than the sum of per-module round-ups... that is only
+	// true when gaps are shorter than the rounding slack, so assert the
+	// weaker invariant: the bill is positive and each VM accounts for
+	// its modules.
+	if reuse.Cost <= 0 {
+		t.Fatal("reuse run billed nothing")
+	}
+}
+
+func TestSimVMTracesConsistent(t *testing.T) {
+	cfg, _ := paperConfig(t, 57)
+	cfg.BootTime = 0.1
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != 6 {
+		t.Fatalf("%d VMs for 6 schedulable modules", len(got.VMs))
+	}
+	total := 0.0
+	for v, vm := range got.VMs {
+		if vm.BootAt < 0 || vm.ReadyAt < vm.BootAt || vm.StoppedAt < vm.ReadyAt {
+			t.Fatalf("VM %d lifecycle inconsistent: %+v", v, vm)
+		}
+		if math.Abs(vm.ReadyAt-vm.BootAt-0.1) > 1e-9 {
+			t.Fatalf("VM %d boot duration %v", v, vm.ReadyAt-vm.BootAt)
+		}
+		total += vm.Cost
+	}
+	if math.Abs(total-got.Cost) > 1e-9 {
+		t.Fatalf("VM costs %v do not sum to total %v", total, got.Cost)
+	}
+}
+
+func TestSimTransferSlotsSerializeWideFanOut(t *testing.T) {
+	// One source fans out to four consumers, each edge moving 10 units
+	// at bandwidth 10 (1h per transfer). Unlimited slots overlap the
+	// transfers; a single slot serializes them.
+	w := workflow.New()
+	src := w.AddModule(workflow.Module{Name: "src", Workload: 10})
+	for i := 0; i < 4; i++ {
+		c := w.AddModule(workflow.Module{Name: "c", Workload: 10})
+		if err := w.AddDependency(src, c, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := cloud.Catalog{{Name: "x", Power: 10, Rate: 1}}
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	s := workflow.Schedule{0, 0, 0, 0, 0}
+
+	free, err := Run(Config{Workflow: w, Matrices: m, Schedule: s, Bandwidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1h src + 1h transfer (parallel) + 1h consumer.
+	if math.Abs(free.Makespan-3) > 1e-9 {
+		t.Fatalf("unlimited slots makespan %v, want 3", free.Makespan)
+	}
+	serial, err := Run(Config{Workflow: w, Matrices: m, Schedule: s, Bandwidth: 10, TransferSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfers serialize: last consumer starts at 1+4 = 5, ends 6.
+	if math.Abs(serial.Makespan-6) > 1e-9 {
+		t.Fatalf("single slot makespan %v, want 6", serial.Makespan)
+	}
+	two, err := Run(Config{Workflow: w, Matrices: m, Schedule: s, Bandwidth: 10, TransferSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two.Makespan-4) > 1e-9 { // two waves of transfers
+		t.Fatalf("two slots makespan %v, want 4", two.Makespan)
+	}
+}
+
+func TestSimTransferSlotsIgnoredWhenTransfersFree(t *testing.T) {
+	cfg, want := paperConfig(t, 57)
+	cfg.TransferSlots = 1 // no bandwidth set: must change nothing
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Makespan-want.MED) > 1e-9 {
+		t.Fatalf("free transfers affected by slot limit: %v vs %v", got.Makespan, want.MED)
+	}
+}
+
+func TestSimRejectsBadConfig(t *testing.T) {
+	w, cat := workflow.PaperExample()
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil workflow accepted")
+	}
+	if _, err := Run(Config{Workflow: w, Matrices: m, Schedule: workflow.Schedule{0}}); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+	lc := m.LeastCost(w)
+	if _, err := Run(Config{Workflow: w, Matrices: m, Schedule: lc, BootTime: -1}); err == nil {
+		t.Fatal("negative boot time accepted")
+	}
+}
+
+func TestSimFixedModulesBillNothing(t *testing.T) {
+	cfg, _ := paperConfig(t, 48)
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry and exit contribute 2 hours of makespan but no VM cost:
+	// cost equals the analytic CE sum (48).
+	if got.Cost != 48 {
+		t.Fatalf("cost = %v, want 48", got.Cost)
+	}
+	if got.Modules[0].VM != -1 {
+		t.Fatal("entry module assigned a VM")
+	}
+}

@@ -1,0 +1,88 @@
+// Package sim is a discrete-event cloud workflow simulator — the
+// stdlib-only stand-in for CloudSim that the paper extended for its
+// evaluation (§VI-A). It replays a schedule event by event: just-in-time
+// VM provisioning with boot latency, precedence-gated module execution,
+// shared-storage data transfers, VM reuse, and a billing meter. Its
+// makespan and billed cost are computed independently of the analytic
+// model in package workflow, so agreement between the two validates both
+// (DESIGN.md experiment A2).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  int64 // tie-breaker: FIFO among simultaneous events
+	fn   func()
+}
+
+type eventPQ []*event
+
+func (q eventPQ) Len() int { return len(q) }
+func (q eventPQ) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventPQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventPQ) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventPQ) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulation is a virtual clock with an event heap. The zero value is
+// ready to use at time 0.
+type Simulation struct {
+	now       float64
+	pq        eventPQ
+	seq       int64
+	processed int64
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulation) Processed() int64 { return s.processed }
+
+// Schedule enqueues fn after the given non-negative delay.
+func (s *Simulation) Schedule(delay float64, fn func()) error {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return fmt.Errorf("sim: invalid delay %v", delay)
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{time: s.now + delay, seq: s.seq, fn: fn})
+	return nil
+}
+
+// Run processes events until the queue drains, returning the final time.
+// maxEvents guards against runaway event loops; 0 means 10 million.
+func (s *Simulation) Run(maxEvents int64) (float64, error) {
+	if maxEvents == 0 {
+		maxEvents = 10_000_000
+	}
+	for s.pq.Len() > 0 {
+		if s.processed >= maxEvents {
+			return s.now, fmt.Errorf("sim: event budget %d exhausted at t=%v", maxEvents, s.now)
+		}
+		e := heap.Pop(&s.pq).(*event)
+		if e.time < s.now {
+			return s.now, fmt.Errorf("sim: time went backwards: %v -> %v", s.now, e.time)
+		}
+		s.now = e.time
+		s.processed++
+		e.fn()
+	}
+	return s.now, nil
+}

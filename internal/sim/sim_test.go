@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulationOrdersEvents(t *testing.T) {
+	var s Simulation
+	var order []int
+	mustSchedule(t, &s, 3, func() { order = append(order, 3) })
+	mustSchedule(t, &s, 1, func() { order = append(order, 1) })
+	mustSchedule(t, &s, 2, func() { order = append(order, 2) })
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 3 {
+		t.Fatalf("end time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulation, d float64, fn func()) {
+	t.Helper()
+	if err := s.Schedule(d, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulationFIFOAmongSimultaneous(t *testing.T) {
+	var s Simulation
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		mustSchedule(t, &s, 1, func() { order = append(order, i) })
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestSimulationNestedScheduling(t *testing.T) {
+	var s Simulation
+	var hits []float64
+	mustSchedule(t, &s, 1, func() {
+		hits = append(hits, s.Now())
+		mustSchedule(t, &s, 1.5, func() { hits = append(hits, s.Now()) })
+	})
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2.5 || len(hits) != 2 || hits[1] != 2.5 {
+		t.Fatalf("end=%v hits=%v", end, hits)
+	}
+}
+
+func TestSimulationRejectsBadDelay(t *testing.T) {
+	var s Simulation
+	for _, d := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := s.Schedule(d, func() {}); err == nil {
+			t.Errorf("delay %v accepted", d)
+		}
+	}
+}
+
+func TestSimulationEventBudget(t *testing.T) {
+	var s Simulation
+	var loop func()
+	loop = func() { _ = s.Schedule(1, loop) }
+	mustSchedule(t, &s, 0, loop)
+	if _, err := s.Run(100); err == nil {
+		t.Fatal("runaway loop not caught")
+	}
+	if s.Processed() != 100 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+func TestSimulationEmptyRun(t *testing.T) {
+	var s Simulation
+	end, err := s.Run(0)
+	if err != nil || end != 0 {
+		t.Fatalf("empty run: %v, %v", end, err)
+	}
+}

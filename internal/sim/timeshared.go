@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// RunTimeShared replays a schedule with CloudSim's *time-shared* cloudlet
+// model: when a reuse plan maps several ready modules onto one VM, they
+// run concurrently and share the VM's processing power equally (processor
+// sharing), instead of queueing as in the space-shared model of Run. With
+// one module per VM the two models coincide.
+//
+// Transfers and boots are free in this mode (its purpose is isolating the
+// CPU-sharing effect); billing follows the same occupancy rule as Run.
+func RunTimeShared(cfg Config) (*Result, error) {
+	w, m, s := cfg.Workflow, cfg.Matrices, cfg.Schedule
+	if w == nil || m == nil {
+		return nil, fmt.Errorf("sim: nil workflow or matrices")
+	}
+	if err := w.ValidateSchedule(s, len(m.Catalog)); err != nil {
+		return nil, err
+	}
+	g := w.Graph()
+	n := w.NumModules()
+	times := m.Times(s)
+
+	var vmOf []int
+	var vmMods [][]int
+	if cfg.Reuse != nil {
+		vmOf = cfg.Reuse.VMOf
+		vmMods = cfg.Reuse.ModulesOf
+	} else {
+		vmOf = make([]int, n)
+		for i := range vmOf {
+			vmOf[i] = -1
+		}
+		for _, i := range w.Schedulable() {
+			vmOf[i] = len(vmMods)
+			vmMods = append(vmMods, []int{i})
+		}
+	}
+
+	res := &Result{
+		Modules: make([]ModuleTrace, n),
+		VMs:     make([]VMTrace, len(vmMods)),
+	}
+	for i := range res.Modules {
+		res.Modules[i] = ModuleTrace{Ready: -1, Start: -1, Finish: -1, VM: vmOf[i]}
+	}
+	for v := range res.VMs {
+		res.VMs[v] = VMTrace{Type: s[vmMods[v][0]], BootAt: -1, ReadyAt: -1, StoppedAt: -1}
+	}
+
+	// Processor-sharing execution: each module has `remaining` work (in
+	// time units at full speed); a VM running k modules advances each at
+	// rate 1/k. Between events the rates are constant, so the next
+	// completion is computable in closed form.
+	remaining := make([]float64, n)
+	running := make([][]int, len(vmMods)) // active modules per VM
+	var fixedRunning []int                // fixed modules run at rate 1 off-VM
+	pendingIn := make([]int, n)
+	for i := 0; i < n; i++ {
+		pendingIn[i] = g.InDegree(i)
+		remaining[i] = times[i]
+	}
+	vmDone := make([]int, len(vmMods))
+	now := 0.0
+	done := 0
+
+	activate := func(i int) {
+		res.Modules[i].Ready = now
+		res.Modules[i].Start = now
+		if w.Module(i).Fixed {
+			fixedRunning = append(fixedRunning, i)
+			return
+		}
+		v := vmOf[i]
+		if res.VMs[v].BootAt < 0 {
+			res.VMs[v].BootAt = now
+			res.VMs[v].ReadyAt = now
+		}
+		res.VMs[v].Modules = append(res.VMs[v].Modules, i)
+		running[v] = append(running[v], i)
+	}
+	for i := 0; i < n; i++ {
+		if pendingIn[i] == 0 {
+			activate(i)
+		}
+	}
+
+	guard := 0
+	for done < n {
+		guard++
+		if guard > 4*n+16 {
+			return nil, fmt.Errorf("sim: time-shared loop did not converge (%d/%d done)", done, n)
+		}
+		// Find the earliest completion across VMs and fixed modules.
+		dt := math.Inf(1)
+		for v := range running {
+			k := float64(len(running[v]))
+			for _, i := range running[v] {
+				if t := remaining[i] * k; t < dt {
+					dt = t
+				}
+			}
+		}
+		for _, i := range fixedRunning {
+			if remaining[i] < dt {
+				dt = remaining[i]
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("sim: deadlock with %d/%d modules done", done, n)
+		}
+		// Advance all work by dt of wall-clock.
+		now += dt
+		var completed []int
+		for v := range running {
+			k := float64(len(running[v]))
+			next := running[v][:0]
+			for _, i := range running[v] {
+				remaining[i] -= dt / k
+				if remaining[i] <= 1e-12 {
+					completed = append(completed, i)
+				} else {
+					next = append(next, i)
+				}
+			}
+			running[v] = next
+		}
+		nextFixed := fixedRunning[:0]
+		for _, i := range fixedRunning {
+			remaining[i] -= dt
+			if remaining[i] <= 1e-12 {
+				completed = append(completed, i)
+			} else {
+				nextFixed = append(nextFixed, i)
+			}
+		}
+		fixedRunning = nextFixed
+
+		for _, i := range completed {
+			res.Modules[i].Finish = now
+			if now > res.Makespan {
+				res.Makespan = now
+			}
+			done++
+			if !w.Module(i).Fixed {
+				v := vmOf[i]
+				vmDone[v]++
+				if vmDone[v] == len(vmMods[v]) {
+					res.VMs[v].StoppedAt = now
+					occ := now - res.VMs[v].BootAt
+					res.VMs[v].Cost = m.Billing.BilledTime(occ) * m.Catalog[res.VMs[v].Type].Rate
+					res.Cost += res.VMs[v].Cost
+				}
+			}
+			for _, succ := range g.Succ(i) {
+				pendingIn[succ]--
+				if pendingIn[succ] == 0 {
+					activate(succ)
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+func TestTimeSharedMatchesSpaceSharedWithoutReuse(t *testing.T) {
+	// One module per VM: processor sharing never kicks in, so both
+	// engines and the analytic model agree exactly.
+	cfg, want := paperConfig(t, 57)
+	got, err := RunTimeShared(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Makespan-want.MED) > 1e-9 || math.Abs(got.Cost-want.Cost) > 1e-9 {
+		t.Fatalf("time-shared %v/%v vs analytic %v/%v", got.Makespan, got.Cost, want.MED, want.Cost)
+	}
+}
+
+func TestTimeSharedProcessorSharingSlowsCoScheduled(t *testing.T) {
+	// Two independent equal modules forced onto one VM: under
+	// processor sharing both finish at 2T instead of T and 2T.
+	w := workflow.New()
+	w.AddModule(workflow.Module{Name: "a", Workload: 10})
+	w.AddModule(workflow.Module{Name: "b", Workload: 10})
+	cat := cloud.Catalog{{Name: "x", Power: 10, Rate: 1}}
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	s := workflow.Schedule{0, 0}
+	plan := &workflow.ReusePlan{
+		VMOf:      []int{0, 0},
+		TypeOf:    []int{0},
+		ModulesOf: [][]int{{0, 1}},
+	}
+	res, err := RunTimeShared(Config{Workflow: w, Matrices: m, Schedule: s, Reuse: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Modules[0].Finish-2) > 1e-9 || math.Abs(res.Modules[1].Finish-2) > 1e-9 {
+		t.Fatalf("co-scheduled finishes %v/%v, want 2/2", res.Modules[0].Finish, res.Modules[1].Finish)
+	}
+	// Space-shared on the same plan serializes: 1 then 2, same makespan.
+	sp, err := Run(Config{Workflow: w, Matrices: m, Schedule: s, Reuse: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Makespan-res.Makespan) > 1e-9 {
+		t.Fatalf("makespans differ: space %v vs time %v", sp.Makespan, res.Makespan)
+	}
+	// But completion profiles differ: space-shared finishes one module
+	// at t=1.
+	if math.Abs(sp.Modules[0].Finish-1) > 1e-9 && math.Abs(sp.Modules[1].Finish-1) > 1e-9 {
+		t.Fatal("space-shared did not serialize")
+	}
+}
+
+func TestTimeSharedUnequalShares(t *testing.T) {
+	// Modules of work 10 and 30 sharing a power-10 VM: the short one
+	// finishes at t=2 (rate 1/2 until then), the long one at t=4
+	// (remaining 2 units of time at full speed after the short leaves).
+	w := workflow.New()
+	w.AddModule(workflow.Module{Name: "short", Workload: 10})
+	w.AddModule(workflow.Module{Name: "long", Workload: 30})
+	cat := cloud.Catalog{{Name: "x", Power: 10, Rate: 1}}
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	plan := &workflow.ReusePlan{
+		VMOf:      []int{0, 0},
+		TypeOf:    []int{0},
+		ModulesOf: [][]int{{0, 1}},
+	}
+	res, err := RunTimeShared(Config{Workflow: w, Matrices: m, Schedule: workflow.Schedule{0, 0}, Reuse: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Modules[0].Finish-2) > 1e-9 {
+		t.Fatalf("short finish %v, want 2", res.Modules[0].Finish)
+	}
+	if math.Abs(res.Modules[1].Finish-4) > 1e-9 {
+		t.Fatalf("long finish %v, want 4", res.Modules[1].Finish)
+	}
+}
+
+func TestTimeSharedPrecedenceAndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 12, E: 25, N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		res, err := sched.Run(sched.CriticalGreedy(), wf, m, (cmin+cmax)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, _ := wf.Evaluate(m, res.Schedule, nil)
+		plan := wf.PlanReuse(res.Schedule, ev.Timing, workflow.ReuseByInterval)
+		ts, err := RunTimeShared(Config{Workflow: wf, Matrices: m, Schedule: res.Schedule, Reuse: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := wf.Graph()
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.Succ(u) {
+				if ts.Modules[v].Start < ts.Modules[u].Finish-1e-9 {
+					t.Fatalf("trial %d: precedence violated on (%d,%d)", trial, u, v)
+				}
+			}
+		}
+		// Time sharing can only delay relative to dedicated VMs.
+		if ts.Makespan < res.MED-1e-9 {
+			t.Fatalf("trial %d: time-shared makespan %v below dedicated %v", trial, ts.Makespan, res.MED)
+		}
+	}
+}
+
+func TestTimeSharedRejectsBadConfig(t *testing.T) {
+	if _, err := RunTimeShared(Config{}); err == nil {
+		t.Fatal("nil workflow accepted")
+	}
+	w, cat := workflow.PaperExample()
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if _, err := RunTimeShared(Config{Workflow: w, Matrices: m, Schedule: workflow.Schedule{0}}); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+}

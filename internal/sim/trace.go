@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace-event format ("Trace Event
+// Format", the JSON consumed by chrome://tracing and Perfetto). Durations
+// are in microseconds; we map one workflow time unit to one second.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// timeUnitMicros maps one workflow time unit onto the trace timeline.
+const timeUnitMicros = 1e6
+
+// WriteChromeTrace exports the run in Chrome trace-event JSON: one track
+// (tid) per VM instance plus a track for fixed modules, with complete
+// ("X") events for executions and boot phases. Load the file in
+// chrome://tracing or https://ui.perfetto.dev to inspect the run.
+func (r *Result) WriteChromeTrace(w io.Writer, names []string) error {
+	var events []chromeEvent
+	name := func(i int) string {
+		if i < len(names) && names[i] != "" {
+			return names[i]
+		}
+		return fmt.Sprintf("module %d", i)
+	}
+	const fixedTrack = 0 // VM v maps to tid v+1
+	for v, vm := range r.VMs {
+		if vm.BootAt >= 0 && vm.ReadyAt > vm.BootAt {
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("boot vm%d", v), Cat: "vm", Phase: "X",
+				TS: vm.BootAt * timeUnitMicros, Dur: (vm.ReadyAt - vm.BootAt) * timeUnitMicros,
+				PID: 1, TID: v + 1,
+				Args: map[string]any{"type": vm.Type},
+			})
+		}
+	}
+	for i, tr := range r.Modules {
+		if tr.Start < 0 {
+			continue
+		}
+		tid := fixedTrack
+		if tr.VM >= 0 {
+			tid = tr.VM + 1
+		}
+		events = append(events, chromeEvent{
+			Name: name(i), Cat: "module", Phase: "X",
+			TS: tr.Start * timeUnitMicros, Dur: (tr.Finish - tr.Start) * timeUnitMicros,
+			PID: 1, TID: tid,
+			Args: map[string]any{"ready": tr.Ready, "vm": tr.VM},
+		})
+		if tr.Ready >= 0 && tr.Start > tr.Ready {
+			events = append(events, chromeEvent{
+				Name: name(i) + " wait", Cat: "wait", Phase: "X",
+				TS: tr.Ready * timeUnitMicros, Dur: (tr.Start - tr.Ready) * timeUnitMicros,
+				PID: 1, TID: tid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData":       map[string]any{"makespan": r.Makespan, "cost": r.Cost},
+	})
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	cfg, _ := paperConfig(t, 57)
+	cfg.BootTime = 0.25
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, cfg.Workflow.NumModules())
+	for i := range names {
+		names[i] = cfg.Workflow.Module(i).Name
+	}
+	var sb strings.Builder
+	if err := res.WriteChromeTrace(&sb, names); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData map[string]float64 `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData["makespan"] != res.Makespan {
+		t.Fatalf("makespan metadata %v", doc.OtherData["makespan"])
+	}
+	// 8 module events + 6 boot events (one per VM) + wait slices.
+	modules, boots := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("negative timestamps in %+v", e)
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "boot"):
+			boots++
+		case strings.HasSuffix(e.Name, "wait"):
+		default:
+			modules++
+		}
+	}
+	if modules != 8 {
+		t.Fatalf("%d module events, want 8", modules)
+	}
+	if boots != 6 {
+		t.Fatalf("%d boot events, want 6", boots)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Result{}).WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Fatal("missing traceEvents key")
+	}
+}

@@ -1,0 +1,228 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+	"medcc/internal/wrf"
+)
+
+func wrfSetup(t *testing.T, budget float64) (*workflow.Workflow, *workflow.Matrices, workflow.Schedule) {
+	t.Helper()
+	w := wrf.Grouped()
+	m := wrf.Matrices(w)
+	res, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m, res.Schedule
+}
+
+func TestExecuteWRFMatchesAnalyticWhenWarm(t *testing.T) {
+	// With pre-launched VMs (no boot, no propagation, free transfers)
+	// the testbed must reproduce the analytic MED exactly — the setting
+	// of the paper's Table VII measurements.
+	w, m, s := wrfSetup(t, 155.0)
+	dep, err := Execute(DefaultConfig(), w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := w.Evaluate(m, s, nil)
+	if math.Abs(dep.Makespan-ev.Makespan) > 1e-9 {
+		t.Fatalf("testbed makespan %v vs analytic %v", dep.Makespan, ev.Makespan)
+	}
+}
+
+func TestExecuteWRFReuseLowersVMCountAndCost(t *testing.T) {
+	w, m, s := wrfSetup(t, 147.5)
+	dep, err := Execute(DefaultConfig(), w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule at B=147.5 maps w1..w4,w6 to VT1 and w5 to VT2; the
+	// paper notes w1/w3 and w2/w4/w6 chains reuse VMs. At most 6 VMs,
+	// expect strictly fewer via precedence reuse.
+	if len(dep.VMs) >= 6 {
+		t.Fatalf("no reuse: %d VMs", len(dep.VMs))
+	}
+	// Merged occupancy bills less than the sum of per-module costs.
+	analytic := m.Cost(s)
+	if dep.Cost > analytic+1e-9 {
+		t.Fatalf("testbed cost %v above analytic %v", dep.Cost, analytic)
+	}
+	if dep.Cost <= 0 {
+		t.Fatal("testbed billed nothing")
+	}
+}
+
+func TestExecuteRespectsSlotLimits(t *testing.T) {
+	// A 10-branch fork-join on a 4x2-slot cloud: placement queueing
+	// must serialize the excess VMs, stretching the makespan, while
+	// every host stays within its slot bound at all times.
+	rng := rand.New(rand.NewSource(1))
+	w := gen.ForkJoin(rng, 10, 100, 100)
+	cat := cloud.DiminishingCatalog(2, 3, 1, 0.75)
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.LeastCost(w)
+	cfg := DefaultConfig()
+	dep, err := Execute(cfg, w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 identical branches, 8 slots: two branches wait a full round.
+	branchTime := 100.0 / 3
+	if dep.Makespan < 2*branchTime-1e-9 {
+		t.Fatalf("makespan %v too small for queued execution", dep.Makespan)
+	}
+	if dep.QueueWait <= 0 {
+		t.Fatal("no queue wait recorded despite oversubscription")
+	}
+	for h, c := range dep.HostUtilization(cfg.VMMs) {
+		if c == 0 {
+			t.Fatalf("host %d unused while others queued", h)
+		}
+	}
+}
+
+func TestExecuteColdStartDelays(t *testing.T) {
+	w, m, s := wrfSetup(t, 155.0)
+	warm, err := Execute(DefaultConfig(), w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.BootTime = 30
+	cfg.RepoBandwidthGBps = 0.1 // 68s propagation per cold host
+	cold, err := Execute(cfg, w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Makespan <= warm.Makespan {
+		t.Fatalf("cold start did not delay: %v vs %v", cold.Makespan, warm.Makespan)
+	}
+	for _, vm := range cold.VMs {
+		if vm.Ready < vm.Placed+30-1e-9 {
+			t.Fatalf("VM became ready before booting: %+v", vm)
+		}
+	}
+}
+
+func TestExecuteImageCachePropagatesOncePerHost(t *testing.T) {
+	// Two sequential same-host VMs: the second must skip propagation.
+	w := workflow.New()
+	a := w.AddModule(workflow.Module{Name: "a", Workload: 10})
+	b := w.AddModule(workflow.Module{Name: "b", Workload: 10})
+	if err := w.AddDependency(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	cat := cloud.Catalog{{Name: "x", Power: 10, Rate: 1}, {Name: "y", Power: 20, Rate: 2}}
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	s := workflow.Schedule{0, 1} // different types: no reuse, two VMs
+	cfg := Config{VMMs: 1, SlotsPerVMM: 2, ImageGB: 7, RepoBandwidthGBps: 1}
+	dep, err := Execute(cfg, w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := dep.VMs[0]
+	second := dep.VMs[1]
+	if second.Placed < first.Placed {
+		first, second = second, first
+	}
+	if math.Abs(first.Ready-first.Placed-7) > 1e-9 {
+		t.Fatalf("first VM propagation = %v, want 7", first.Ready-first.Placed)
+	}
+	if second.Ready-second.Placed > 1e-9 {
+		t.Fatalf("second VM re-propagated: %v", second.Ready-second.Placed)
+	}
+}
+
+func TestExecuteTransfersThroughSharedStorage(t *testing.T) {
+	// Every data-bearing dependency pays a shared-storage transfer of
+	// DS/BW + 2*delay, independent of VM placement.
+	w := workflow.New()
+	a := w.AddModule(workflow.Module{Name: "a", Workload: 10})
+	b := w.AddModule(workflow.Module{Name: "b", Workload: 10})
+	if err := w.AddDependency(a, b, 100); err != nil {
+		t.Fatal(err)
+	}
+	cat := cloud.Catalog{{Name: "x", Power: 10, Rate: 1}, {Name: "y", Power: 20, Rate: 2}}
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	s := workflow.Schedule{0, 1}
+	cfg := Config{VMMs: 2, SlotsPerVMM: 1, LinkBandwidth: 10, LinkDelay: 0.05}
+	dep, err := Execute(cfg, w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 1h; transfer: 100/10 + 2*0.05 = 10.1; b: 0.5h.
+	want := 1 + 10.1 + 0.5
+	if math.Abs(dep.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan = %v, want %v", dep.Makespan, want)
+	}
+}
+
+func TestExecuteDetectsCapacityDeadlock(t *testing.T) {
+	// Reused VMs can hold slots while waiting for inputs from queued
+	// VMs; with capacity 1x1 a diamond workflow with cross-VM
+	// dependencies stalls, and Execute must report it instead of
+	// silently dropping modules.
+	rng := rand.New(rand.NewSource(2))
+	w := gen.ForkJoin(rng, 5, 50, 50)
+	cat := cloud.DiminishingCatalog(2, 3, 1, 0.75)
+	m, _ := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	s := m.LeastCost(w)
+	cfg := Config{VMMs: 1, SlotsPerVMM: 1}
+	dep, err := Execute(cfg, w, m, s)
+	// Either it completes serially (fork-join branches are
+	// independent, so a single slot CAN recycle) — or, if the reuse
+	// plan splits them across VMs awaiting each other, it errors.
+	if err == nil {
+		if dep.Makespan <= 0 {
+			t.Fatal("suspicious zero makespan")
+		}
+		return
+	}
+	t.Logf("stall reported as expected: %v", err)
+}
+
+func TestExecuteRejectsBadConfig(t *testing.T) {
+	w, m, s := wrfSetup(t, 155.0)
+	if _, err := Execute(Config{VMMs: 0, SlotsPerVMM: 1}, w, m, s); err == nil {
+		t.Fatal("zero VMMs accepted")
+	}
+	if _, err := Execute(DefaultConfig(), w, m, workflow.Schedule{1}); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+}
+
+func TestDeploymentHelpers(t *testing.T) {
+	w, m, s := wrfSetup(t, 186.2)
+	dep, err := Execute(DefaultConfig(), w, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := dep.VMsByType()
+	total := 0
+	for _, c := range byType {
+		total += c
+	}
+	if total != len(dep.VMs) {
+		t.Fatalf("VMsByType total %d != %d VMs", total, len(dep.VMs))
+	}
+	tl := dep.Timeline()
+	if len(tl) != w.NumModules() {
+		t.Fatalf("timeline covers %d modules", len(tl))
+	}
+	for k := 1; k < len(tl); k++ {
+		if dep.Modules[tl[k-1]].Start > dep.Modules[tl[k]].Start {
+			t.Fatal("timeline not sorted by start")
+		}
+	}
+}

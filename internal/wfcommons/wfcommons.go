@@ -1,0 +1,263 @@
+// Package wfcommons parses WfCommons workflow instances (the WfFormat JSON
+// used by the successor of the Pegasus workflow-trace archive) into this
+// module's workflow model. Both layouts in the wild are supported:
+//
+//   - the legacy flat layout, workflow.jobs (or workflow.tasks) carrying
+//     runtime, parents/children, and files inline, and
+//   - the v1.4 split layout, workflow.specification.tasks (structure and
+//     file references) plus workflow.execution.tasks (measured runtimes)
+//     with file sizes in workflow.specification.files.
+//
+// The mapping mirrors package dax: workload = runtime x ReferencePower,
+// edge data size = bytes of files the parent writes and the child reads.
+package wfcommons
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"medcc/internal/workflow"
+)
+
+// Options control the mapping; semantics match package dax.
+type Options struct {
+	// ReferencePower converts runtimes to workloads (default 1).
+	ReferencePower float64
+	// DataUnit divides file sizes in bytes (default 1 MB).
+	DataUnit float64
+}
+
+type document struct {
+	Name     string `json:"name"`
+	Workflow struct {
+		Jobs          []flatTask `json:"jobs"`
+		Tasks         []flatTask `json:"tasks"`
+		Specification struct {
+			Tasks []specTask `json:"tasks"`
+			Files []specFile `json:"files"`
+		} `json:"specification"`
+		Execution struct {
+			Tasks []execTask `json:"tasks"`
+		} `json:"execution"`
+	} `json:"workflow"`
+}
+
+type flatTask struct {
+	Name             string     `json:"name"`
+	ID               string     `json:"id"`
+	Runtime          float64    `json:"runtime"`
+	RuntimeInSeconds float64    `json:"runtimeInSeconds"`
+	Children         []string   `json:"children"`
+	Parents          []string   `json:"parents"`
+	Files            []flatFile `json:"files"`
+}
+
+type flatFile struct {
+	Name        string  `json:"name"`
+	Link        string  `json:"link"`
+	Size        float64 `json:"size"`
+	SizeInBytes float64 `json:"sizeInBytes"`
+}
+
+type specTask struct {
+	Name        string   `json:"name"`
+	ID          string   `json:"id"`
+	Children    []string `json:"children"`
+	Parents     []string `json:"parents"`
+	InputFiles  []string `json:"inputFiles"`
+	OutputFiles []string `json:"outputFiles"`
+}
+
+type specFile struct {
+	ID          string  `json:"id"`
+	SizeInBytes float64 `json:"sizeInBytes"`
+}
+
+type execTask struct {
+	ID               string  `json:"id"`
+	RuntimeInSeconds float64 `json:"runtimeInSeconds"`
+}
+
+// unified is the normalized task representation both layouts reduce to.
+type unified struct {
+	id       string
+	name     string
+	runtime  float64
+	parents  []string
+	children []string
+	inputs   map[string]float64 // file -> bytes
+	outputs  map[string]float64
+}
+
+// Parse reads a WfCommons instance and returns the workflow plus task IDs
+// in module-index order.
+func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
+	if opts.ReferencePower == 0 {
+		opts.ReferencePower = 1
+	}
+	if opts.DataUnit == 0 {
+		opts.DataUnit = 1_000_000
+	}
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("wfcommons: decode: %w", err)
+	}
+
+	var tasks []unified
+	switch {
+	case len(doc.Workflow.Specification.Tasks) > 0:
+		tasks = fromSplit(&doc)
+	case len(doc.Workflow.Jobs) > 0:
+		tasks = fromFlat(doc.Workflow.Jobs)
+	case len(doc.Workflow.Tasks) > 0:
+		tasks = fromFlat(doc.Workflow.Tasks)
+	default:
+		return nil, nil, fmt.Errorf("wfcommons: %q has no tasks", doc.Name)
+	}
+	return build(tasks, opts)
+}
+
+func fromFlat(in []flatTask) []unified {
+	out := make([]unified, 0, len(in))
+	for _, t := range in {
+		u := unified{
+			id:       t.ID,
+			name:     t.Name,
+			runtime:  t.Runtime,
+			parents:  t.Parents,
+			children: t.Children,
+			inputs:   map[string]float64{},
+			outputs:  map[string]float64{},
+		}
+		if u.id == "" {
+			u.id = t.Name
+		}
+		if u.runtime == 0 {
+			u.runtime = t.RuntimeInSeconds
+		}
+		for _, f := range t.Files {
+			size := f.SizeInBytes
+			if size == 0 {
+				size = f.Size
+			}
+			switch f.Link {
+			case "input":
+				u.inputs[f.Name] = size
+			case "output":
+				u.outputs[f.Name] = size
+			}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func fromSplit(doc *document) []unified {
+	sizes := make(map[string]float64, len(doc.Workflow.Specification.Files))
+	for _, f := range doc.Workflow.Specification.Files {
+		sizes[f.ID] = f.SizeInBytes
+	}
+	runtimes := make(map[string]float64, len(doc.Workflow.Execution.Tasks))
+	for _, t := range doc.Workflow.Execution.Tasks {
+		runtimes[t.ID] = t.RuntimeInSeconds
+	}
+	out := make([]unified, 0, len(doc.Workflow.Specification.Tasks))
+	for _, t := range doc.Workflow.Specification.Tasks {
+		u := unified{
+			id:       t.ID,
+			name:     t.Name,
+			runtime:  runtimes[t.ID],
+			parents:  t.Parents,
+			children: t.Children,
+			inputs:   map[string]float64{},
+			outputs:  map[string]float64{},
+		}
+		if u.id == "" {
+			u.id = t.Name
+			u.runtime = runtimes[t.Name]
+		}
+		for _, f := range t.InputFiles {
+			u.inputs[f] = sizes[f]
+		}
+		for _, f := range t.OutputFiles {
+			u.outputs[f] = sizes[f]
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func build(tasks []unified, opts Options) (*workflow.Workflow, []string, error) {
+	w := workflow.New()
+	index := make(map[string]int, len(tasks))
+	ids := make([]string, 0, len(tasks))
+	for _, t := range tasks {
+		if t.id == "" {
+			return nil, nil, fmt.Errorf("wfcommons: task with empty id/name")
+		}
+		if _, dup := index[t.id]; dup {
+			return nil, nil, fmt.Errorf("wfcommons: duplicate task id %q", t.id)
+		}
+		if t.runtime < 0 {
+			return nil, nil, fmt.Errorf("wfcommons: task %q has negative runtime", t.id)
+		}
+		name := t.name
+		if name == "" {
+			name = t.id
+		}
+		index[t.id] = w.AddModule(workflow.Module{
+			Name:     name,
+			Workload: t.runtime * opts.ReferencePower,
+		})
+		ids = append(ids, t.id)
+	}
+	// Edge set: union of children and parents declarations.
+	type edge struct{ p, c int }
+	seen := map[edge]bool{}
+	var order []edge
+	add := func(pID, cID string) error {
+		p, ok := index[pID]
+		if !ok {
+			return fmt.Errorf("wfcommons: unknown task reference %q", pID)
+		}
+		c, ok := index[cID]
+		if !ok {
+			return fmt.Errorf("wfcommons: unknown task reference %q", cID)
+		}
+		e := edge{p, c}
+		if !seen[e] {
+			seen[e] = true
+			order = append(order, e)
+		}
+		return nil
+	}
+	for _, t := range tasks {
+		for _, ch := range t.children {
+			if err := add(t.id, ch); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, par := range t.parents {
+			if err := add(par, t.id); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// Data sizes: bytes of files flowing parent -> child.
+	for _, e := range order {
+		bytes := 0.0
+		for f, size := range tasks[e.p].outputs {
+			if _, consumed := tasks[e.c].inputs[f]; consumed {
+				bytes += size
+			}
+		}
+		if err := w.AddDependency(e.p, e.c, bytes/opts.DataUnit); err != nil {
+			return nil, nil, fmt.Errorf("wfcommons: %w", err)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("wfcommons: %w", err)
+	}
+	return w, ids, nil
+}

@@ -1,0 +1,156 @@
+package wfcommons
+
+import (
+	"strings"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/sched"
+)
+
+const flatInstance = `{
+  "name": "epigenomics-flat",
+  "workflow": {
+    "jobs": [
+      {"name": "split", "runtime": 10,
+       "files": [{"name": "reads.fq", "link": "output", "size": 8000000}],
+       "children": ["map1", "map2"]},
+      {"name": "map1", "runtime": 120,
+       "files": [{"name": "reads.fq", "link": "input", "size": 8000000},
+                 {"name": "m1.sam", "link": "output", "size": 2000000}],
+       "parents": ["split"], "children": ["merge"]},
+      {"name": "map2", "runtime": 140,
+       "files": [{"name": "reads.fq", "link": "input", "size": 8000000},
+                 {"name": "m2.sam", "link": "output", "size": 2000000}],
+       "parents": ["split"], "children": ["merge"]},
+      {"name": "merge", "runtime": 30,
+       "files": [{"name": "m1.sam", "link": "input", "size": 2000000},
+                 {"name": "m2.sam", "link": "input", "size": 2000000}],
+       "parents": ["map1", "map2"]}
+    ]
+  }
+}`
+
+const splitInstance = `{
+  "name": "montage-v14",
+  "schemaVersion": "1.4",
+  "workflow": {
+    "specification": {
+      "tasks": [
+        {"id": "t1", "name": "mProject", "children": ["t2"], "outputFiles": ["p1"]},
+        {"id": "t2", "name": "mAdd", "parents": ["t1"], "inputFiles": ["p1"]}
+      ],
+      "files": [{"id": "p1", "sizeInBytes": 3000000}]
+    },
+    "execution": {
+      "tasks": [
+        {"id": "t1", "runtimeInSeconds": 25.5},
+        {"id": "t2", "runtimeInSeconds": 80.25}
+      ]
+    }
+  }
+}`
+
+func TestParseFlatLayout(t *testing.T) {
+	w, ids, err := Parse(strings.NewReader(flatInstance), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumModules() != 4 || len(ids) != 4 {
+		t.Fatalf("%d modules", w.NumModules())
+	}
+	if w.NumDependencies() != 4 {
+		t.Fatalf("%d edges, want 4", w.NumDependencies())
+	}
+	// split -> map1 carries reads.fq: 8 MB.
+	if got := w.DataSize(0, 1); got != 8 {
+		t.Fatalf("split->map1 data = %v, want 8", got)
+	}
+	// map2 -> merge carries m2.sam: 2 MB.
+	if got := w.DataSize(2, 3); got != 2 {
+		t.Fatalf("map2->merge data = %v, want 2", got)
+	}
+	if w.Module(2).Workload != 140 {
+		t.Fatalf("map2 workload %v", w.Module(2).Workload)
+	}
+}
+
+func TestParseSplitLayout(t *testing.T) {
+	w, ids, err := Parse(strings.NewReader(splitInstance), Options{ReferencePower: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumModules() != 2 || ids[0] != "t1" {
+		t.Fatalf("modules %d ids %v", w.NumModules(), ids)
+	}
+	if w.Module(0).Workload != 51 { // 25.5 * 2
+		t.Fatalf("workload %v", w.Module(0).Workload)
+	}
+	if got := w.DataSize(0, 1); got != 3 {
+		t.Fatalf("edge data %v, want 3", got)
+	}
+}
+
+func TestParseDuplicateEdgeDeclarationsCollapse(t *testing.T) {
+	// map1 declares both children (on split) and parents (on merge):
+	// the union must not duplicate edges.
+	w, _, err := Parse(strings.NewReader(flatInstance), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumDependencies() != 4 {
+		t.Fatalf("%d edges", w.NumDependencies())
+	}
+}
+
+func TestParsedInstanceSchedules(t *testing.T) {
+	w, _, err := Parse(strings.NewReader(flatInstance), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := cloud.DiminishingCatalog(3, 1, 1, 0.75)
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmin, cmax := m.BudgetRange(w)
+	if _, err := sched.Run(sched.CriticalGreedy(), w, m, (cmin+cmax)/2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":   `]`,
+		"no tasks":   `{"workflow": {}}`,
+		"bad ref":    `{"workflow":{"jobs":[{"name":"a","runtime":1,"children":["zz"]}]}}`,
+		"dup id":     `{"workflow":{"jobs":[{"name":"a","runtime":1},{"name":"a","runtime":2}]}}`,
+		"neg run":    `{"workflow":{"jobs":[{"name":"a","runtime":-1}]}}`,
+		"cycle":      `{"workflow":{"jobs":[{"name":"a","runtime":1,"children":["b"]},{"name":"b","runtime":1,"children":["a"]}]}}`,
+		"empty name": `{"workflow":{"jobs":[{"runtime":1}]}}`,
+	}
+	for name, in := range cases {
+		if _, _, err := Parse(strings.NewReader(in), Options{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(flatInstance))
+	f.Add([]byte(splitInstance))
+	f.Add([]byte(`{"workflow":{"tasks":[{"name":"a","runtimeInSeconds":5}]}}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, ids, err := Parse(strings.NewReader(string(data)), Options{})
+		if err != nil {
+			return
+		}
+		if w.NumModules() != len(ids) {
+			t.Fatal("module/id mismatch")
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted invalid workflow: %v", err)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"medcc/internal/cloud"
+)
+
+func TestExportDOTWithSchedule(t *testing.T) {
+	w, cat := PaperExample()
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.LeastCost(w)
+	dot, err := w.ExportDOT(s, cat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"digraph workflow", "rankdir=LR",
+		"w3\\nWL 21 -> VT1 (7)",     // workload, type, exec time
+		"fillcolor=lightgoldenrod1", // VT2 color
+		"shape=ellipse",             // fixed entry/exit
+		"n5 -> n7",                  // an edge
+		`label="1"`,                 // a data size
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestExportDOTStructureOnly(t *testing.T) {
+	w, _ := PaperExample()
+	dot, err := w.ExportDOT(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(dot, "fillcolor=light") {
+		t.Fatal("structure-only render colored nodes")
+	}
+	if !strings.Contains(dot, "WL 40") {
+		t.Fatal("workloads missing")
+	}
+}
+
+func TestExportDOTRejectsBadSchedule(t *testing.T) {
+	w, cat := PaperExample()
+	if _, err := w.ExportDOT(Schedule{0}, cat, nil); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+}

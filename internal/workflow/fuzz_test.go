@@ -1,0 +1,57 @@
+package workflow
+
+import (
+	"encoding/json"
+	"testing"
+
+	"medcc/internal/cloud"
+)
+
+// FuzzWorkflowJSON drives the workflow loader with arbitrary bytes: it
+// must never panic, and anything it accepts must be a valid workflow that
+// round-trips and schedules without internal errors.
+func FuzzWorkflowJSON(f *testing.F) {
+	seeds := []string{
+		`{"modules":[{"name":"a","workload":30},{"name":"b","workload":60}],"edges":[{"from":0,"to":1,"data_size":1}]}`,
+		`{"modules":[{"name":"e","fixed":true,"fixed_time":1},{"name":"a","workload":5}],"edges":[{"from":0,"to":1,"data_size":0}]}`,
+		`{"modules":[],"edges":[]}`,
+		`{"modules":[{"name":"a","workload":-1}],"edges":[]}`,
+		`{"modules":[{"name":"a","workload":1}],"edges":[{"from":0,"to":0,"data_size":1}]}`,
+		`{"modules":[{"name":"a","workload":1},{"name":"b","workload":1}],"edges":[{"from":0,"to":1,"data_size":1},{"from":1,"to":0,"data_size":1}]}`,
+		`not json at all`,
+		`{"modules":[{"name":"a","workload":1e308}],"edges":[]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	cat := cloud.PaperExampleCatalog()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Workflow
+		if err := json.Unmarshal(data, &w); err != nil {
+			return // rejected input: fine
+		}
+		// Accepted input must be fully usable.
+		if err := w.Validate(); err != nil {
+			t.Fatalf("loader accepted invalid workflow: %v", err)
+		}
+		out, err := json.Marshal(&w)
+		if err != nil {
+			t.Fatalf("accepted workflow does not re-marshal: %v", err)
+		}
+		var back Workflow
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumModules() != w.NumModules() || back.NumDependencies() != w.NumDependencies() {
+			t.Fatal("round trip changed structure")
+		}
+		m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+		if err != nil {
+			return // e.g. non-finite workloads rejected downstream
+		}
+		lc := m.LeastCost(&w)
+		if _, err := w.Evaluate(m, lc, nil); err != nil {
+			t.Fatalf("least-cost schedule of accepted workflow invalid: %v", err)
+		}
+	})
+}

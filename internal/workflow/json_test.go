@@ -1,0 +1,62 @@
+package workflow
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestWorkflowJSONRoundTrip(t *testing.T) {
+	w, _ := PaperExample()
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Workflow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumModules() != w.NumModules() || back.NumDependencies() != w.NumDependencies() {
+		t.Fatal("round trip lost structure")
+	}
+	for i := 0; i < w.NumModules(); i++ {
+		if back.Module(i) != w.Module(i) {
+			t.Fatalf("module %d changed: %+v vs %+v", i, back.Module(i), w.Module(i))
+		}
+	}
+	for u := 0; u < w.NumModules(); u++ {
+		for _, v := range w.Graph().Succ(u) {
+			if !back.Graph().HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) lost", u, v)
+			}
+			if back.DataSize(u, v) != w.DataSize(u, v) {
+				t.Fatalf("data size (%d,%d) changed", u, v)
+			}
+		}
+	}
+}
+
+func TestWorkflowJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"modules":[{"name":"a","workload":1}],"edges":[{"from":0,"to":5,"data_size":1}]}`,
+		`{"modules":[{"name":"a","workload":1}],"edges":[{"from":0,"to":0,"data_size":1}]}`,
+		`{"modules":[{"name":"a","workload":-1}],"edges":[]}`,
+		`{"modules":[{"name":"a","fixed":true,"fixed_time":1}],"edges":[]}`, // nothing schedulable
+		`{"modules":[{"name":"a","workload":1},{"name":"b","workload":1}],"edges":[{"from":0,"to":1,"data_size":-4}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var w Workflow
+		if err := json.Unmarshal([]byte(c), &w); err == nil {
+			t.Errorf("invalid workflow accepted: %s", c)
+		}
+	}
+}
+
+func TestWorkflowJSONCycleRejected(t *testing.T) {
+	in := `{"modules":[{"name":"a","workload":1},{"name":"b","workload":1}],
+	        "edges":[{"from":0,"to":1,"data_size":0},{"from":1,"to":0,"data_size":0}]}`
+	var w Workflow
+	if err := json.Unmarshal([]byte(in), &w); err == nil {
+		t.Fatal("cyclic workflow accepted")
+	}
+}

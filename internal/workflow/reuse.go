@@ -1,0 +1,95 @@
+package workflow
+
+import (
+	"sort"
+
+	"medcc/internal/dag"
+)
+
+// ReusePolicy selects the condition under which two modules mapped to the
+// same VM type may share one VM instance.
+type ReusePolicy int
+
+const (
+	// ReuseByInterval allows sharing whenever execution intervals do not
+	// overlap (the new module starts no earlier than the previous one
+	// finishes). Most aggressive correct policy under one-to-one typing.
+	ReuseByInterval ReusePolicy = iota
+	// ReuseByPrecedence additionally requires a dependency path from the
+	// VM's last module to the new one, the conservative rule used in the
+	// paper's testbed experiments ("adjacent modules with execution
+	// precedence constraints can reuse the same VM").
+	ReuseByPrecedence
+)
+
+// ReusePlan assigns modules to concrete VM instances after scheduling, so
+// that the number of actually provisioned VMs is generally smaller than the
+// number of modules (§V-B "we can explore the possibility of VM reuse").
+type ReusePlan struct {
+	// VMOf maps module index -> VM instance index (-1 for fixed modules).
+	VMOf []int
+	// TypeOf maps VM instance index -> VM type index.
+	TypeOf []int
+	// ModulesOf maps VM instance -> its modules in execution order.
+	ModulesOf [][]int
+}
+
+// NumVMs returns the number of VM instances provisioned by the plan.
+func (p *ReusePlan) NumVMs() int { return len(p.TypeOf) }
+
+// PlanReuse packs the modules of schedule s onto VM instances of matching
+// types. Modules are processed in earliest-start order; each is placed on
+// the first compatible instance (same type, free at its start time, and —
+// under ReuseByPrecedence — reachable from the instance's last module),
+// else a new instance is opened. Timing must come from evaluating s.
+func (w *Workflow) PlanReuse(s Schedule, t *dag.Timing, policy ReusePolicy) *ReusePlan {
+	plan := &ReusePlan{VMOf: make([]int, len(w.mods))}
+	for i := range plan.VMOf {
+		plan.VMOf[i] = -1
+	}
+	// Execution order: by EST, ties by index for determinism.
+	order := w.Schedulable()
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if t.EST[ia] != t.EST[ib] {
+			return t.EST[ia] < t.EST[ib]
+		}
+		return ia < ib
+	})
+	type vmState struct {
+		typ      int
+		freeAt   float64
+		lastMod  int
+		instance int
+	}
+	var vms []vmState
+	for _, i := range order {
+		placed := false
+		for k := range vms {
+			v := &vms[k]
+			if v.typ != s[i] {
+				continue
+			}
+			if t.EST[i] < v.freeAt-dag.Eps {
+				continue
+			}
+			if policy == ReuseByPrecedence && !w.g.Reachable(v.lastMod, i) {
+				continue
+			}
+			plan.VMOf[i] = v.instance
+			plan.ModulesOf[v.instance] = append(plan.ModulesOf[v.instance], i)
+			v.freeAt = t.EFT[i]
+			v.lastMod = i
+			placed = true
+			break
+		}
+		if !placed {
+			inst := len(vms)
+			vms = append(vms, vmState{typ: s[i], freeAt: t.EFT[i], lastMod: i, instance: inst})
+			plan.TypeOf = append(plan.TypeOf, s[i])
+			plan.ModulesOf = append(plan.ModulesOf, []int{i})
+			plan.VMOf[i] = inst
+		}
+	}
+	return plan
+}

@@ -1,0 +1,60 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStatsPaperExample(t *testing.T) {
+	w, _ := PaperExample()
+	s, err := w.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Modules != 8 || s.Schedulable != 6 || s.Dependencies != 10 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	// Longest chain: w0 -> w1 -> w3 -> w5 -> w7 (or via w4/w6): 5 deep.
+	if s.Depth != 5 {
+		t.Fatalf("depth = %d, want 5", s.Depth)
+	}
+	if s.Width != 2 {
+		t.Fatalf("width = %d, want 2", s.Width)
+	}
+	if s.TotalWorkload != 10+40+21+20+40+18 {
+		t.Fatalf("total workload %v", s.TotalWorkload)
+	}
+	wantData := 2.0 + 3 + 2 + 4 + 1 + 2 + 3 + 2 + 1 + 1
+	if math.Abs(s.TotalData-wantData) > 1e-9 {
+		t.Fatalf("total data %v, want %v", s.TotalData, wantData)
+	}
+	if math.Abs(s.CCR-wantData/149) > 1e-9 {
+		t.Fatalf("CCR %v", s.CCR)
+	}
+}
+
+func TestComputeStatsPipeline(t *testing.T) {
+	p := NewPipeline([]float64{1, 2, 3, 4})
+	s, err := p.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth != 4 || s.Width != 1 {
+		t.Fatalf("pipeline shape: %+v", s)
+	}
+	if s.CCR != 0 {
+		t.Fatalf("zero-data pipeline CCR %v", s.CCR)
+	}
+}
+
+func TestComputeStatsZeroWorkload(t *testing.T) {
+	w := New()
+	w.AddModule(Module{Name: "a", Workload: 0})
+	s, err := w.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CCR != 0 {
+		t.Fatalf("CCR with zero workload = %v", s.CCR)
+	}
+}

@@ -1,0 +1,193 @@
+// Package workflow models DAG-structured scientific workflows for
+// budget-constrained scheduling: modules carrying workloads, dependency
+// edges carrying data sizes, execution time / cost matrices against a VM
+// type catalog, schedules (module -> VM type mappings) with analytic
+// makespan and cost evaluation, budget ranges, and VM-reuse planning.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"medcc/internal/cloud"
+	"medcc/internal/dag"
+)
+
+// Module is one computing module w_i of the task graph.
+type Module struct {
+	// Name is the display name, e.g. "w3".
+	Name string `json:"name"`
+	// Workload is WL_i, the computational demand. Execution time on VM
+	// type j is Workload / VP_j. Ignored when Fixed is true.
+	Workload float64 `json:"workload"`
+	// Fixed marks entry/exit-style modules with a constant execution
+	// time on any VM and zero financial cost (the paper's w0 and w_end,
+	// assumed to take one hour each and be free).
+	Fixed bool `json:"fixed,omitempty"`
+	// FixedTime is the constant execution time when Fixed is true.
+	FixedTime float64 `json:"fixed_time,omitempty"`
+}
+
+// Workflow is a task graph G_w(V_w, E_w): modules plus dependency edges
+// with data sizes DS_ij.
+type Workflow struct {
+	g    *dag.Graph
+	mods []Module
+	data map[[2]int]float64
+}
+
+// New returns an empty workflow.
+func New() *Workflow {
+	return &Workflow{g: dag.New(), data: make(map[[2]int]float64)}
+}
+
+// AddModule appends a module and returns its index.
+func (w *Workflow) AddModule(m Module) int {
+	id := w.g.AddNode(m.Name)
+	w.mods = append(w.mods, m)
+	return id
+}
+
+// AddDependency inserts a dependency edge u -> v carrying dataSize units.
+func (w *Workflow) AddDependency(u, v int, dataSize float64) error {
+	if dataSize < 0 || math.IsNaN(dataSize) || math.IsInf(dataSize, 0) {
+		return fmt.Errorf("workflow: invalid data size %v on edge (%d,%d)", dataSize, u, v)
+	}
+	if err := w.g.AddEdge(u, v); err != nil {
+		return err
+	}
+	w.data[[2]int{u, v}] = dataSize
+	return nil
+}
+
+// Graph exposes the underlying DAG (read-only by convention).
+func (w *Workflow) Graph() *dag.Graph { return w.g }
+
+// NumModules returns the module count, including fixed entry/exit modules.
+func (w *Workflow) NumModules() int { return len(w.mods) }
+
+// NumDependencies returns the edge count.
+func (w *Workflow) NumDependencies() int { return w.g.NumEdges() }
+
+// Module returns module i.
+func (w *Workflow) Module(i int) Module { return w.mods[i] }
+
+// DataSize returns DS_uv for edge u -> v (zero if the edge is absent).
+func (w *Workflow) DataSize(u, v int) float64 { return w.data[[2]int{u, v}] }
+
+// Schedulable returns the indices of modules that must be mapped to a VM
+// type (everything not Fixed), in index order.
+func (w *Workflow) Schedulable() []int {
+	var out []int
+	for i, m := range w.mods {
+		if !m.Fixed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks the structure: an acyclic graph, valid workloads, and at
+// least one schedulable module.
+func (w *Workflow) Validate() error {
+	if err := w.g.Validate(); err != nil {
+		return err
+	}
+	sched := 0
+	for i, m := range w.mods {
+		if m.Fixed {
+			if m.FixedTime < 0 || math.IsNaN(m.FixedTime) || math.IsInf(m.FixedTime, 0) {
+				return fmt.Errorf("workflow: module %d has invalid fixed time %v", i, m.FixedTime)
+			}
+			continue
+		}
+		sched++
+		if m.Workload < 0 || math.IsNaN(m.Workload) || math.IsInf(m.Workload, 0) {
+			return fmt.Errorf("workflow: module %d has invalid workload %v", i, m.Workload)
+		}
+	}
+	if sched == 0 {
+		return errors.New("workflow: no schedulable modules")
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (w *Workflow) Clone() *Workflow {
+	c := &Workflow{
+		g:    w.g.Clone(),
+		mods: append([]Module(nil), w.mods...),
+		data: make(map[[2]int]float64, len(w.data)),
+	}
+	for k, v := range w.data {
+		c.data[k] = v
+	}
+	return c
+}
+
+// ZeroTransfer is the intra-datacenter edge-weight function: all transfer
+// times are negligible (the paper's evaluation setting, CR = 0 and
+// high-bandwidth shared storage).
+func ZeroTransfer(u, v int) float64 { return 0 }
+
+// TransferByBandwidth builds a dag.EdgeWeight charging DS_uv/bandwidth +
+// delay on every edge, the uniform-fabric version of Eq. 5.
+func (w *Workflow) TransferByBandwidth(bandwidth, delay float64) dag.EdgeWeight {
+	return func(u, v int) float64 {
+		ds := w.DataSize(u, v)
+		if ds == 0 {
+			return 0
+		}
+		return ds/bandwidth + delay
+	}
+}
+
+// Matrices holds the per-module execution time (TE) and execution cost (CE)
+// matrices over a VM type catalog: TE[i][j] is the time of module i on type
+// j, CE[i][j] the billed cost. Fixed modules have their fixed time in every
+// column of TE and zero in CE.
+type Matrices struct {
+	TE, CE  [][]float64
+	Catalog cloud.Catalog
+	Billing cloud.BillingPolicy
+}
+
+// BuildMatrices computes TE and CE for the workflow over the catalog under
+// a billing policy (step executed once, O(m*n), per §V-B).
+func (w *Workflow) BuildMatrices(cat cloud.Catalog, billing cloud.BillingPolicy) (*Matrices, error) {
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if billing == nil {
+		billing = cloud.HourlyRoundUp
+	}
+	m := len(w.mods)
+	n := len(cat)
+	mt := &Matrices{
+		TE:      make([][]float64, m),
+		CE:      make([][]float64, m),
+		Catalog: cat,
+		Billing: billing,
+	}
+	for i := 0; i < m; i++ {
+		mt.TE[i] = make([]float64, n)
+		mt.CE[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if w.mods[i].Fixed {
+				mt.TE[i][j] = w.mods[i].FixedTime
+				mt.CE[i][j] = 0
+				continue
+			}
+			mt.TE[i][j] = cat[j].ExecTime(w.mods[i].Workload)
+			mt.CE[i][j] = cloud.ExecCost(billing, cat[j], w.mods[i].Workload)
+		}
+	}
+	return mt, nil
+}
+
+// SetWorkload replaces the workload of module i (used by generators).
+func (w *Workflow) SetWorkload(i int, wl float64) { w.mods[i].Workload = wl }

@@ -15,8 +15,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full benchmark sweep, 5 repetitions per name, distilled into
+# BENCH_1.json (see scripts/bench.sh for knobs).
 bench:
-	$(GO) test -bench=. -benchmem .
+	scripts/bench.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

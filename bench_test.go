@@ -194,6 +194,23 @@ func benchScheduler(b *testing.B, name string, size gen.ProblemSize) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	if into, ok := alg.(sched.IntoScheduler); ok {
+		// Warm once so the steady-state loop measures the reused-scratch
+		// path, then hand the same destination schedule back every
+		// iteration: allocs/op should read 0.
+		dst, err := into.ScheduleInto(nil, w, m, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := into.ScheduleInto(dst, w, m, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := alg.Schedule(w, m, budget); err != nil {
@@ -208,6 +225,10 @@ func BenchmarkCriticalGreedy20(b *testing.B) {
 
 func BenchmarkCriticalGreedy100(b *testing.B) {
 	benchScheduler(b, "critical-greedy", gen.ProblemSize{M: 100, E: 2344, N: 9})
+}
+
+func BenchmarkCriticalGreedy500(b *testing.B) {
+	benchScheduler(b, "critical-greedy", gen.ProblemSize{M: 500, E: 58600, N: 9})
 }
 
 func BenchmarkGAIN3_100(b *testing.B) {
@@ -226,6 +247,7 @@ func BenchmarkTimingPass100(b *testing.B) {
 	w, m, _ := benchInstance(b, gen.ProblemSize{M: 100, E: 2344, N: 9})
 	s := m.LeastCost(w)
 	times := m.Times(s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dag.NewTiming(w.Graph(), times, nil); err != nil {

@@ -132,6 +132,7 @@ func Run(cfg Config) (*Outcome, error) {
 	now := 0.0
 	spent := 0.0
 	done := 0
+	var rp replanner // scratch shared by all replan rounds of this run
 
 	startReady := func() {
 		for i := 0; i < n; i++ {
@@ -161,7 +162,7 @@ func Run(cfg Config) (*Outcome, error) {
 			pending[v]--
 		}
 		if cfg.Replan && done < n {
-			if replanOnce(w, m, s, state, cfg.Budget, spent) {
+			if rp.replanOnce(w, m, s, state, cfg.Budget, spent) {
 				out.Replans++
 			}
 		}
@@ -176,14 +177,25 @@ func Run(cfg Config) (*Outcome, error) {
 	return out, nil
 }
 
+// replanner holds the scratch reused across replan rounds of one run: the
+// unstarted-module list, the previous-schedule snapshot, and an incremental
+// timing refreshed in place, so the per-completion replanning loop makes no
+// heap allocations after the first round.
+type replanner struct {
+	unstarted []int
+	before    workflow.Schedule
+	times     []float64
+	t         *dag.Timing
+}
+
 // replanOnce re-runs the Critical-Greedy loop over the unstarted modules:
 // they drop to their least-cost types, then upgrade while the estimated
 // cost of the unstarted remainder fits the budget that is actually left
 // (budget - actual spend - estimated cost of running modules). Returns
 // whether the schedule changed.
-func replanOnce(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule, state []int, budget, spent float64) bool {
+func (rp *replanner) replanOnce(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule, state []int, budget, spent float64) bool {
 	g := w.Graph()
-	var unstartedMods []int
+	unstartedMods := rp.unstarted[:0]
 	committed := 0.0 // estimated cost of modules currently running
 	for i := 0; i < w.NumModules(); i++ {
 		if w.Module(i).Fixed {
@@ -196,11 +208,15 @@ func replanOnce(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule,
 			committed += m.CE[i][s[i]]
 		}
 	}
+	rp.unstarted = unstartedMods
 	if len(unstartedMods) == 0 {
 		return false
 	}
 	sort.Ints(unstartedMods)
-	before := s.Clone()
+	if len(rp.before) != len(s) {
+		rp.before = make(workflow.Schedule, len(s))
+	}
+	copy(rp.before, s)
 
 	// Reset the remainder to least-cost.
 	remaining := 0.0
@@ -219,18 +235,32 @@ func replanOnce(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule,
 	// Even the least-cost remainder may exceed what is left once actuals
 	// ran over; spend what we have and accept the overshoot — aborting
 	// the workflow would waste everything already paid.
+	fresh := true
 	for avail-remaining > 0 {
-		t, err := dag.NewTiming(g, m.Times(s), nil)
-		if err != nil {
-			break // cannot happen on a validated workflow
+		if fresh {
+			// First iteration of a round: many assignments changed, so
+			// refresh the timing wholesale; later iterations re-relax only
+			// the upgraded module's suffix.
+			rp.times = m.TimesInto(s, rp.times)
+			if rp.t == nil {
+				t, err := dag.NewTiming(g, rp.times, nil)
+				if err != nil {
+					break // cannot happen on a validated workflow
+				}
+				rp.t = t
+			} else if err := rp.t.Update(rp.times); err != nil {
+				break
+			}
+			fresh = false
 		}
+		t := rp.t
 		bi, bj := -1, -1
 		var bestDT, bestDC float64
 		for _, i := range unstartedMods {
 			if !t.IsCritical(i) {
 				continue
 			}
-			for j := range m.Catalog {
+			for _, j := range m.Options(i) {
 				if j == s[i] {
 					continue
 				}
@@ -250,6 +280,7 @@ func replanOnce(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule,
 		}
 		s[bi] = bj
 		remaining += bestDC
+		t.UpdateNode(bi, m.TE[bi][bj])
 	}
-	return !s.Equal(before)
+	return !s.Equal(rp.before)
 }

@@ -27,14 +27,41 @@ type Graph struct {
 	succ  [][]int
 	pred  [][]int
 	edges int
+
+	// topo and pos cache the topological order (and each node's position
+	// in it) so repeated timing passes skip Kahn's algorithm; both are
+	// invalidated by any structural mutation. A Graph is safe for
+	// concurrent reads only after the cache has been warmed (any call to
+	// TopoOrder or Validate does so), which BuildMatrices guarantees
+	// before schedulers run.
+	topo []int
+	pos  []int
+
+	// predOff/predAdj and succOff/succAdj are flat CSR mirrors of pred and
+	// succ (node u's predecessors are predAdj[predOff[u]:predOff[u+1]]),
+	// giving the timing hot loops contiguous iteration instead of chasing
+	// per-node slice headers. Built lazily alongside the topo cache and
+	// invalidated with it.
+	predOff, predAdj []int32
+	succOff, succAdj []int32
 }
 
 // New returns an empty graph. Equivalent to new(Graph); provided for
 // symmetry with the rest of the module.
 func New() *Graph { return &Graph{} }
 
+// invalidateTopo drops the cached topological order after a structural
+// mutation.
+func (g *Graph) invalidateTopo() {
+	g.topo = nil
+	g.pos = nil
+	g.predOff, g.predAdj = nil, nil
+	g.succOff, g.succAdj = nil, nil
+}
+
 // AddNode appends a node with the given display name and returns its index.
 func (g *Graph) AddNode(name string) int {
+	g.invalidateTopo()
 	g.names = append(g.names, name)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
@@ -66,6 +93,7 @@ func (g *Graph) AddEdge(u, v int) error {
 			return fmt.Errorf("dag: duplicate edge (%d,%d)", u, v)
 		}
 	}
+	g.invalidateTopo()
 	g.succ[u] = append(g.succ[u], v)
 	g.pred[v] = append(g.pred[v], u)
 	g.edges++
@@ -142,8 +170,26 @@ func (g *Graph) Sinks() []int {
 
 // TopoOrder returns a topological ordering via Kahn's algorithm, or ErrCycle
 // if none exists. Among ready nodes the lowest index is taken first, so the
-// ordering is deterministic.
+// ordering is deterministic. The order is computed once and cached until the
+// graph mutates; the returned slice is a copy the caller may modify.
 func (g *Graph) TopoOrder() ([]int, error) {
+	order, _, err := g.topoShared()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), order...), nil
+}
+
+// topoShared returns the cached topological order and per-node positions,
+// computing them on first use. The returned slices are shared with the
+// graph and must not be modified.
+func (g *Graph) topoShared() (order, pos []int, err error) {
+	if g.topo != nil {
+		if g.predOff == nil {
+			g.buildCSR() // e.g. after Clone, which copies only the order
+		}
+		return g.topo, g.pos, nil
+	}
 	n := len(g.names)
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -158,12 +204,12 @@ func (g *Graph) TopoOrder() ([]int, error) {
 			ready = append(ready, i)
 		}
 	}
-	order := make([]int, 0, n)
+	out := make([]int, 0, n)
 	for len(ready) > 0 {
 		sort.Ints(ready)
 		u := ready[0]
 		ready = ready[1:]
-		order = append(order, u)
+		out = append(out, u)
 		for _, v := range g.succ[u] {
 			indeg[v]--
 			if indeg[v] == 0 {
@@ -171,10 +217,38 @@ func (g *Graph) TopoOrder() ([]int, error) {
 			}
 		}
 	}
-	if len(order) != n {
-		return nil, ErrCycle
+	if len(out) != n {
+		return nil, nil, ErrCycle
 	}
-	return order, nil
+	p := make([]int, n)
+	for k, u := range out {
+		p[u] = k
+	}
+	g.topo, g.pos = out, p
+	g.buildCSR()
+	return g.topo, g.pos, nil
+}
+
+// buildCSR flattens the adjacency lists into the CSR arrays, preserving
+// the per-node neighbor order of succ and pred.
+func (g *Graph) buildCSR() {
+	n := len(g.names)
+	g.predOff = make([]int32, n+1)
+	g.succOff = make([]int32, n+1)
+	g.predAdj = make([]int32, 0, g.edges)
+	g.succAdj = make([]int32, 0, g.edges)
+	for i := 0; i < n; i++ {
+		g.predOff[i] = int32(len(g.predAdj))
+		g.succOff[i] = int32(len(g.succAdj))
+		for _, q := range g.pred[i] {
+			g.predAdj = append(g.predAdj, int32(q))
+		}
+		for _, s := range g.succ[i] {
+			g.succAdj = append(g.succAdj, int32(s))
+		}
+	}
+	g.predOff[n] = int32(len(g.predAdj))
+	g.succOff[n] = int32(len(g.succAdj))
 }
 
 // Validate checks that the graph is acyclic.
@@ -264,6 +338,11 @@ func (g *Graph) Clone() *Graph {
 		succ:  make([][]int, len(g.succ)),
 		pred:  make([][]int, len(g.pred)),
 		edges: g.edges,
+		topo:  append([]int(nil), g.topo...),
+		pos:   append([]int(nil), g.pos...),
+	}
+	if len(c.topo) == 0 {
+		c.topo, c.pos = nil, nil
 	}
 	for i := range g.succ {
 		c.succ[i] = append([]int(nil), g.succ[i]...)

@@ -44,3 +44,55 @@ func FuzzGraphJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIncrementalTiming drives UpdateNode with fuzz-chosen mutations over a
+// fuzz-derived DAG and checks every state against a fresh NewTiming. The
+// mutation stream doubles as weights: byte k mutates node data[k] % n to
+// weight data[k+1] / 16.
+func FuzzIncrementalTiming(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 0, 7, 3, 255, 0, 0, 128, 64, 9, 33})
+	f.Add([]byte{8, 200, 200, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := 2 + int(data[0])%16
+		edgeByte := func(a, b int) byte {
+			k := 1 + (a*31+b*7)%(len(data)-1)
+			return data[k]
+		}
+		g := New()
+		g.AddNodes(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if edgeByte(a, b)%3 == 0 {
+					g.MustEdge(a, b)
+				}
+			}
+		}
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(edgeByte(i, i)) / 8
+		}
+		inc, err := NewTiming(g, weights, nil)
+		if err != nil {
+			t.Fatal(err) // construction cannot cycle: edges go low -> high
+		}
+		for k := 0; k+1 < len(data); k += 2 {
+			inc.UpdateNode(int(data[k])%n, float64(data[k+1])/16)
+			fresh, err := NewTiming(g, append([]float64(nil), weights...), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.Makespan != fresh.Makespan {
+				t.Fatalf("mutation %d: makespan %v != fresh %v", k, inc.Makespan, fresh.Makespan)
+			}
+			for i := 0; i < n; i++ {
+				if inc.EST[i] != fresh.EST[i] || inc.EFT[i] != fresh.EFT[i] ||
+					inc.LST[i] != fresh.LST[i] || inc.LFT[i] != fresh.LFT[i] {
+					t.Fatalf("mutation %d node %d: incremental state diverged from fresh", k, i)
+				}
+			}
+		}
+	})
+}

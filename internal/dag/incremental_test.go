@@ -1,0 +1,214 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDAG builds a random DAG: edges only go from lower to higher index
+// through a random node permutation, so acyclicity is guaranteed while the
+// topological order stays non-trivial.
+func randomProbDAG(rng *rand.Rand, n int, edgeProb float64) *Graph {
+	g := New()
+	g.AddNodes(n)
+	perm := rng.Perm(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < edgeProb {
+				g.MustEdge(perm[a], perm[b])
+			}
+		}
+	}
+	return g
+}
+
+func randomWeights(rng *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() * 10
+	}
+	return w
+}
+
+// requireTimingsEqual asserts that two timings agree exactly. The
+// incremental passes evaluate the same recurrences in the same order as a
+// fresh run, so equality must be bit-for-bit, not just within Eps.
+func requireTimingsEqual(t *testing.T, got, want *Timing, ctx string) {
+	t.Helper()
+	if got.Makespan != want.Makespan {
+		t.Fatalf("%s: makespan %v != %v", ctx, got.Makespan, want.Makespan)
+	}
+	for i := range want.EST {
+		if got.EST[i] != want.EST[i] || got.EFT[i] != want.EFT[i] ||
+			got.LST[i] != want.LST[i] || got.LFT[i] != want.LFT[i] {
+			t.Fatalf("%s: node %d EST/EFT/LST/LFT = %v/%v/%v/%v, want %v/%v/%v/%v",
+				ctx, i, got.EST[i], got.EFT[i], got.LST[i], got.LFT[i],
+				want.EST[i], want.EFT[i], want.LST[i], want.LFT[i])
+		}
+	}
+}
+
+// TestUpdateNodeMatchesFreshTiming is the property test behind the
+// incremental engine: over random DAGs and random single-weight mutations,
+// UpdateNode must land on exactly the state a fresh NewTiming computes.
+func TestUpdateNodeMatchesFreshTiming(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomProbDAG(rng, n, 0.25)
+		weights := randomWeights(rng, n)
+		inc, err := NewTiming(g, weights, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mut := 0; mut < 40; mut++ {
+			i := rng.Intn(n)
+			var w float64
+			switch rng.Intn(4) {
+			case 0:
+				w = 0 // collapse the node
+			case 1:
+				w = weights[i] // no-op update
+			default:
+				w = rng.Float64() * 10
+			}
+			inc.UpdateNode(i, w)
+			fresh, err := NewTiming(g, append([]float64(nil), weights...), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireTimingsEqual(t, inc, fresh, "UpdateNode")
+		}
+	}
+}
+
+// TestUpdateMatchesFreshTiming checks the bulk in-place refresh against a
+// fresh construction after replacing every weight.
+func TestUpdateMatchesFreshTiming(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		g := randomProbDAG(rng, n, 0.3)
+		weights := randomWeights(rng, n)
+		inc, err := NewTiming(g, weights, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 5; round++ {
+			for i := range weights {
+				weights[i] = rng.Float64() * 10
+			}
+			if err := inc.Update(weights); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := NewTiming(g, append([]float64(nil), weights...), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireTimingsEqual(t, inc, fresh, "Update")
+		}
+	}
+}
+
+// TestWhatIfMakespanMatchesTrialTiming checks the non-mutating probe: the
+// hypothetical makespan must equal a fresh timing of the mutated weights,
+// and the probe must leave the Timing untouched.
+func TestWhatIfMakespanMatchesTrialTiming(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		g := randomProbDAG(rng, n, 0.3)
+		weights := randomWeights(rng, n)
+		inc, err := NewTiming(g, weights, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := NewTiming(g, append([]float64(nil), weights...), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			i := rng.Intn(n)
+			w := rng.Float64() * 10
+			trialW := append([]float64(nil), weights...)
+			trialW[i] = w
+			fresh, err := NewTiming(g, trialW, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := inc.WhatIfMakespan(i, w); got != fresh.Makespan {
+				t.Fatalf("WhatIfMakespan(%d, %v) = %v, want %v", i, w, got, fresh.Makespan)
+			}
+			requireTimingsEqual(t, inc, before, "WhatIfMakespan side effect")
+		}
+	}
+}
+
+// TestUpdateNodeWithEdgeWeights exercises the incremental passes under
+// non-zero transfer times, the multi-cloud configuration.
+func TestUpdateNodeWithEdgeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ew := func(u, v int) float64 { return float64((u+v)%3) * 0.5 }
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		g := randomProbDAG(rng, n, 0.3)
+		weights := randomWeights(rng, n)
+		inc, err := NewTiming(g, weights, ew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mut := 0; mut < 20; mut++ {
+			i := rng.Intn(n)
+			w := rng.Float64() * 10
+			inc.UpdateNode(i, w)
+			fresh, err := NewTiming(g, append([]float64(nil), weights...), ew)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireTimingsEqual(t, inc, fresh, "UpdateNode with edge weights")
+		}
+	}
+}
+
+// TestTopoOrderCacheInvalidation ensures mutations drop the cached order:
+// adding an edge that forces a different Kahn order must be reflected.
+func TestTopoOrderCacheInvalidation(t *testing.T) {
+	g := New()
+	g.AddNodes(3)
+	g.MustEdge(0, 2)
+	o1, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != 3 || o1[0] != 0 || o1[1] != 1 {
+		t.Fatalf("order = %v, want [0 1 2]", o1)
+	}
+	// New edge 2 -> 1 forces 1 after 2.
+	g.MustEdge(2, 1)
+	o2, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2[0] != 0 || o2[1] != 2 || o2[2] != 1 {
+		t.Fatalf("order after mutation = %v, want [0 2 1]", o2)
+	}
+	// The returned slice must be a copy: clobbering it must not poison
+	// the cache.
+	o2[0], o2[1], o2[2] = 9, 9, 9
+	o3, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3[0] != 0 || o3[1] != 2 || o3[2] != 1 {
+		t.Fatalf("cache corrupted by caller mutation: %v", o3)
+	}
+	// A node added after the cache is warm must invalidate it too.
+	g.AddNode("late")
+	o4, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o4) != 4 {
+		t.Fatalf("order after AddNode = %v, want 4 nodes", o4)
+	}
+}

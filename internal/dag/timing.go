@@ -19,6 +19,12 @@ type EdgeWeight func(u, v int) float64
 // Timing holds the result of the forward/backward scheduling passes over a
 // weighted DAG: the classical earliest/latest start and finish times of
 // every node, from which makespan, slack, and critical paths are derived.
+//
+// A Timing is bound to the graph structure it was created with; it may be
+// refreshed in place with Update (all weights) or UpdateNode (one weight)
+// without re-running the topological sort or allocating, which is what the
+// greedy schedulers lean on: each of their iterations changes exactly one
+// module's execution time.
 type Timing struct {
 	g *Graph
 
@@ -30,41 +36,388 @@ type Timing struct {
 	// Makespan is the end-to-end delay: max EFT over all nodes.
 	Makespan float64
 
-	order []int
+	order []int // shared with the graph's topo cache; read-only
+	pos   []int // pos[u] = index of u in order; read-only
 	nodeW []float64
 	edgeW EdgeWeight
+
+	// CSR adjacency shared with the graph's cache; read-only. The hot
+	// relaxation loops iterate these flat arrays instead of g.pred/g.succ.
+	predOff, predAdj []int32
+	succOff, succAdj []int32
+
+	scratch []float64 // hypothetical EFT buffer for WhatIfMakespan
+
+	// fdirty/bdirty mark, per epoch, the nodes whose forward (EFT) or
+	// backward (LST) values may move during an incremental pass; nodes not
+	// marked provably recompute to bit-identical values and are skipped.
+	// Epoch tagging makes clearing free: a new pass just increments epoch.
+	fdirty, bdirty []int
+	epoch          int
+
+	// sinks lists the nodes with no successors. With zero edge weights EFT
+	// is monotone along every edge, so the makespan rescan after an
+	// incremental update only needs to look at these.
+	sinks []int32
 }
 
 // NewTiming runs the forward and backward passes over g with the given node
 // weights (execution times) and edge weights (transfer times, nil for all
 // zero). It returns an error if g is cyclic, if len(nodeW) != g.NumNodes(),
-// or if any weight is negative or non-finite.
+// or if any weight is negative or non-finite. The Timing aliases nodeW;
+// callers that mutate it must follow up with Update or UpdateNode.
 func NewTiming(g *Graph, nodeW []float64, edgeW EdgeWeight) (*Timing, error) {
 	n := g.NumNodes()
-	if len(nodeW) != n {
-		return nil, fmt.Errorf("dag: %d node weights for %d nodes", len(nodeW), n)
+	if err := checkWeights(nodeW, n); err != nil {
+		return nil, err
 	}
-	for i, w := range nodeW {
-		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("dag: invalid weight %v on node %d", w, i)
-		}
-	}
-	order, err := g.TopoOrder()
+	order, pos, err := g.topoShared()
 	if err != nil {
 		return nil, err
 	}
 	t := &Timing{
-		g:     g,
-		EST:   make([]float64, n),
-		EFT:   make([]float64, n),
-		LST:   make([]float64, n),
-		LFT:   make([]float64, n),
-		order: order,
-		nodeW: nodeW,
-		edgeW: edgeW,
+		g:       g,
+		EST:     make([]float64, n),
+		EFT:     make([]float64, n),
+		LST:     make([]float64, n),
+		LFT:     make([]float64, n),
+		order:   order,
+		pos:     pos,
+		nodeW:   nodeW,
+		edgeW:   edgeW,
+		predOff: g.predOff,
+		predAdj: g.predAdj,
+		succOff: g.succOff,
+		succAdj: g.succAdj,
+		scratch: make([]float64, n),
+		fdirty:  make([]int, n),
+		bdirty:  make([]int, n),
+	}
+	for u := 0; u < n; u++ {
+		if t.succOff[u] == t.succOff[u+1] {
+			t.sinks = append(t.sinks, int32(u))
+		}
 	}
 	t.run()
 	return t, nil
+}
+
+func checkWeights(nodeW []float64, n int) error {
+	if len(nodeW) != n {
+		return fmt.Errorf("dag: %d node weights for %d nodes", len(nodeW), n)
+	}
+	for i, w := range nodeW {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("dag: invalid weight %v on node %d", w, i)
+		}
+	}
+	return nil
+}
+
+// Update replaces the node weights and recomputes all times in place with
+// zero allocations. nodeW is validated like in NewTiming and aliased by the
+// Timing afterwards; passing the slice the Timing already holds (after
+// mutating it) is the intended steady-state use.
+func (t *Timing) Update(nodeW []float64) error {
+	if err := checkWeights(nodeW, t.g.NumNodes()); err != nil {
+		return err
+	}
+	t.nodeW = nodeW
+	t.run()
+	return nil
+}
+
+// UpdateNode sets the weight of node i to w and incrementally recomputes
+// the times, allocation-free. Nodes before i's topological position keep
+// their EST/EFT (they cannot reach i); within the suffix, only descendants
+// of a node whose EFT actually moved are re-relaxed, tracked by epoch
+// marks. The backward pass mirrors this over the prefix up to i when the
+// makespan anchor is unchanged, and re-runs fully otherwise. Skipped nodes
+// would recompute to bit-identical values, so the result is exactly that
+// of a fresh pass.
+//
+// w must be non-negative and finite, as enforced by NewTiming/Update for
+// whole slices; UpdateNode is the per-iteration hot path and does not
+// re-validate.
+func (t *Timing) UpdateNode(i int, w float64) {
+	if t.nodeW[i] == w {
+		return
+	}
+	t.nodeW[i] = w
+	p := t.pos[i]
+	t.epoch++
+	t.fdirty[i] = t.epoch
+	if t.edgeW == nil {
+		t.relaxFwdZero(p)
+	} else {
+		t.relaxFwd(p)
+	}
+	old := t.Makespan
+	mk := 0.0
+	if t.edgeW == nil {
+		// Zero edge weights keep EFT monotone along edges, so the max is
+		// attained at a sink.
+		for _, u := range t.sinks {
+			if f := t.EFT[u]; f > mk {
+				mk = f
+			}
+		}
+	} else {
+		for _, f := range t.EFT {
+			if f > mk {
+				mk = f
+			}
+		}
+	}
+	t.Makespan = mk
+	if mk == old {
+		// Anchor unchanged: nodes after position p keep their LST/LFT
+		// (their successors all sit after p), so only the prefix can move,
+		// and within it only ancestors of a node whose LST changed.
+		t.bdirty[i] = t.epoch
+		t.relaxBwd(p)
+		return
+	}
+	// The anchor moved: every path's latest times are re-anchored, which
+	// shifts nearly all LFT/LST values, so change tracking would cost more
+	// than it saves — run the dense pass.
+	t.backward(len(t.order) - 1)
+}
+
+// relaxFwdZero is the forward re-relaxation of order[p:] for the common
+// zero-edge-weight case; relaxFwd is its general twin. Only nodes marked
+// dirty in the current epoch are recomputed, and a node's successors are
+// marked only when its EFT actually moved.
+func (t *Timing) relaxFwdZero(p int) {
+	// Everything is hoisted into locals: the loop stores through slices, so
+	// without locals the compiler reloads each field every iteration.
+	ep := t.epoch
+	fdirty, est, eft, nodeW := t.fdirty, t.EST, t.EFT, t.nodeW
+	po, pa := t.predOff, t.predAdj
+	so, sa := t.succOff, t.succAdj
+	for _, u := range t.order[p:] {
+		if fdirty[u] != ep {
+			continue
+		}
+		start := 0.0
+		for _, q := range pa[po[u]:po[u+1]] {
+			if a := eft[q]; a > start {
+				start = a
+			}
+		}
+		est[u] = start
+		if f := start + nodeW[u]; f != eft[u] {
+			eft[u] = f
+			for _, v := range sa[so[u]:so[u+1]] {
+				fdirty[v] = ep
+			}
+		}
+	}
+}
+
+func (t *Timing) relaxFwd(p int) {
+	ep := t.epoch
+	for _, u := range t.order[p:] {
+		if t.fdirty[u] != ep {
+			continue
+		}
+		start := 0.0
+		for _, q := range t.predAdj[t.predOff[u]:t.predOff[u+1]] {
+			if a := t.EFT[q] + t.edgeW(int(q), u); a > start {
+				start = a
+			}
+		}
+		t.EST[u] = start
+		if f := start + t.nodeW[u]; f != t.EFT[u] {
+			t.EFT[u] = f
+			for _, v := range t.succAdj[t.succOff[u]:t.succOff[u+1]] {
+				t.fdirty[v] = ep
+			}
+		}
+	}
+}
+
+// relaxBwd re-relaxes the backward pass for positions hi down to 0 against
+// the unchanged makespan anchor, recomputing a node only when marked dirty
+// (an LST below it moved); its ancestors are marked in turn only when the
+// recomputed LST differs. Skipped nodes would recompute to bit-identical
+// values.
+func (t *Timing) relaxBwd(hi int) {
+	mk := t.Makespan
+	ep := t.epoch
+	if t.edgeW == nil {
+		bdirty, lst, lft, nodeW := t.bdirty, t.LST, t.LFT, t.nodeW
+		po, pa := t.predOff, t.predAdj
+		so, sa := t.succOff, t.succAdj
+		order := t.order
+		for k := hi; k >= 0; k-- {
+			u := order[k]
+			if bdirty[u] != ep {
+				continue
+			}
+			finish := mk
+			for _, s := range sa[so[u]:so[u+1]] {
+				if d := lst[s]; d < finish {
+					finish = d
+				}
+			}
+			lft[u] = finish
+			if l := finish - nodeW[u]; l != lst[u] {
+				lst[u] = l
+				for _, q := range pa[po[u]:po[u+1]] {
+					bdirty[q] = ep
+				}
+			}
+		}
+		return
+	}
+	for k := hi; k >= 0; k-- {
+		u := t.order[k]
+		if t.bdirty[u] != ep {
+			continue
+		}
+		finish := mk
+		for _, s := range t.succAdj[t.succOff[u]:t.succOff[u+1]] {
+			if d := t.LST[s] - t.edgeW(u, int(s)); d < finish {
+				finish = d
+			}
+		}
+		t.LFT[u] = finish
+		if l := finish - t.nodeW[u]; l != t.LST[u] {
+			t.LST[u] = l
+			for _, q := range t.predAdj[t.predOff[u]:t.predOff[u+1]] {
+				t.bdirty[q] = ep
+			}
+		}
+	}
+}
+
+// run executes the full forward and backward passes.
+func (t *Timing) run() {
+	g := t.g
+	t.Makespan = 0
+	// Forward pass: a module cannot start until all input data arrive,
+	// and a dependency edge cannot start transfer until its source
+	// finishes (the paper's precedence constraints).
+	if t.edgeW == nil {
+		for _, u := range t.order {
+			start := 0.0
+			for _, p := range t.predAdj[t.predOff[u]:t.predOff[u+1]] {
+				if a := t.EFT[p]; a > start {
+					start = a
+				}
+			}
+			t.EST[u] = start
+			t.EFT[u] = start + t.nodeW[u]
+			if t.EFT[u] > t.Makespan {
+				t.Makespan = t.EFT[u]
+			}
+		}
+	} else {
+		for _, u := range t.order {
+			start := 0.0
+			for _, p := range g.pred[u] {
+				if a := t.EFT[p] + t.edgeW(p, u); a > start {
+					start = a
+				}
+			}
+			t.EST[u] = start
+			t.EFT[u] = start + t.nodeW[u]
+			if t.EFT[u] > t.Makespan {
+				t.Makespan = t.EFT[u]
+			}
+		}
+	}
+	t.backward(len(t.order) - 1)
+}
+
+// backward runs the dense backward pass for positions hi down to 0,
+// anchored at the current makespan.
+func (t *Timing) backward(hi int) {
+	g := t.g
+	if t.edgeW == nil {
+		mk := t.Makespan
+		lst, lft, nodeW := t.LST, t.LFT, t.nodeW
+		so, sa := t.succOff, t.succAdj
+		order := t.order
+		for k := hi; k >= 0; k-- {
+			u := order[k]
+			finish := mk
+			for _, s := range sa[so[u]:so[u+1]] {
+				if d := lst[s]; d < finish {
+					finish = d
+				}
+			}
+			lft[u] = finish
+			lst[u] = finish - nodeW[u]
+		}
+		return
+	}
+	for k := hi; k >= 0; k-- {
+		u := t.order[k]
+		finish := t.Makespan
+		for _, s := range g.succ[u] {
+			if d := t.LST[s] - t.edgeW(u, s); d < finish {
+				finish = d
+			}
+		}
+		t.LFT[u] = finish
+		t.LST[u] = finish - t.nodeW[u]
+	}
+}
+
+// WhatIfMakespan returns the makespan the DAG would have if node i had
+// weight w, without mutating the Timing and without allocating. It is the
+// trial-move primitive of the makespan-aware schedulers (GAIN2, LOSS2,
+// DeadlineLoss): one call costs a forward re-relaxation of the topo-order
+// suffix from i instead of a full fresh Timing.
+func (t *Timing) WhatIfMakespan(i int, w float64) float64 {
+	if t.nodeW[i] == w {
+		return t.Makespan
+	}
+	p := t.pos[i]
+	t.epoch++
+	t.fdirty[i] = t.epoch
+	mk := 0.0
+	for _, u := range t.order[:p] {
+		if t.EFT[u] > mk {
+			mk = t.EFT[u]
+		}
+	}
+	for _, u := range t.order[p:] {
+		if t.fdirty[u] != t.epoch {
+			// Unaffected by the hypothetical change: its EFT stands.
+			if t.EFT[u] > mk {
+				mk = t.EFT[u]
+			}
+			continue
+		}
+		start := 0.0
+		for _, q := range t.predAdj[t.predOff[u]:t.predOff[u+1]] {
+			f := t.EFT[q]
+			if t.fdirty[q] == t.epoch {
+				f = t.scratch[q]
+			}
+			if a := f + t.ew(int(q), u); a > start {
+				start = a
+			}
+		}
+		nw := t.nodeW[u]
+		if u == i {
+			nw = w
+		}
+		v := start + nw
+		t.scratch[u] = v
+		if v != t.EFT[u] {
+			for _, s := range t.succAdj[t.succOff[u]:t.succOff[u+1]] {
+				t.fdirty[s] = t.epoch
+			}
+		}
+		if v > mk {
+			mk = v
+		}
+	}
+	return mk
 }
 
 func (t *Timing) ew(u, v int) float64 {
@@ -72,38 +425,6 @@ func (t *Timing) ew(u, v int) float64 {
 		return 0
 	}
 	return t.edgeW(u, v)
-}
-
-func (t *Timing) run() {
-	g := t.g
-	// Forward pass: a module cannot start until all input data arrive,
-	// and a dependency edge cannot start transfer until its source
-	// finishes (the paper's precedence constraints).
-	for _, u := range t.order {
-		start := 0.0
-		for _, p := range g.Pred(u) {
-			if a := t.EFT[p] + t.ew(p, u); a > start {
-				start = a
-			}
-		}
-		t.EST[u] = start
-		t.EFT[u] = start + t.nodeW[u]
-		if t.EFT[u] > t.Makespan {
-			t.Makespan = t.EFT[u]
-		}
-	}
-	// Backward pass anchored at the makespan.
-	for i := len(t.order) - 1; i >= 0; i-- {
-		u := t.order[i]
-		finish := t.Makespan
-		for _, s := range g.Succ(u) {
-			if d := t.LST[s] - t.ew(u, s); d < finish {
-				finish = d
-			}
-		}
-		t.LFT[u] = finish
-		t.LST[u] = finish - t.nodeW[u]
-	}
 }
 
 // Slack returns the buffer time of node i: the amount its execution can be

@@ -46,6 +46,27 @@ func (f *Fabric) Schedule(w *workflow.Workflow, budget float64) (*Result, error)
 	if budget < cost-costEps {
 		return nil, fmt.Errorf("%w: budget %.6g < Cmin %.6g", ErrInfeasible, budget, cost)
 	}
+	// Steady-state scratch: the current-assignment timing (from the initial
+	// evaluation) and a second timing for trial moves, both refreshed in
+	// place. A region move perturbs the transfer times of every incident
+	// edge, so trials rebuild the whole pass via Update — still without any
+	// per-trial allocation, and over the graph's cached topological order.
+	// The edge-weight closure reads the live assignment, which both timings
+	// share.
+	g := w.Graph()
+	mods := w.Schedulable()
+	t := ev.Timing
+	curMk := ev.Makespan
+	ew := func(u, v int) float64 { return f.transferTime(w, a, u, v) }
+	timesCur := make([]float64, w.NumModules())
+	trialTimes := make([]float64, w.NumModules())
+	var tTrial *dag.Timing
+	execTimes := func(dst []float64) {
+		for i := range dst {
+			dst[i] = f.execTime(w, a, i)
+		}
+	}
+	candidates := make([]int, 0, len(mods))
 	for {
 		cextra := budget - cost
 		if cextra <= 0 {
@@ -53,15 +74,14 @@ func (f *Fabric) Schedule(w *workflow.Workflow, budget float64) (*Result, error)
 		}
 		// Candidates: zero-slack schedulable modules under the
 		// current assignment (transfer-aware timing).
-		var candidates []int
-		for _, i := range w.Schedulable() {
-			if ev.Timing.IsCritical(i) {
+		candidates = candidates[:0]
+		for _, i := range mods {
+			if t.IsCritical(i) {
 				candidates = append(candidates, i)
 			}
 		}
 		bi, br, bj := -1, -1, -1
-		var bestDM, bestDC float64
-		var bestEv *Evaluation
+		var bestDM, bestDC, bestMk float64
 		for _, i := range candidates {
 			curR, curT := a.Region[i], a.Type[i]
 			for r := range f.Regions {
@@ -70,19 +90,26 @@ func (f *Fabric) Schedule(w *workflow.Workflow, budget float64) (*Result, error)
 						continue
 					}
 					a.Region[i], a.Type[i] = r, j
-					trialEv, err := f.Evaluate(w, a)
-					if err != nil {
+					execTimes(trialTimes)
+					if tTrial == nil {
+						tt, err := dag.NewTiming(g, trialTimes, ew)
+						if err != nil {
+							a.Region[i], a.Type[i] = curR, curT
+							return nil, err
+						}
+						tTrial = tt
+					} else if err := tTrial.Update(trialTimes); err != nil {
 						a.Region[i], a.Type[i] = curR, curT
 						return nil, err
 					}
-					dm := ev.Makespan - trialEv.Makespan
-					dc := trialEv.TotalCost() - cost
+					dm := curMk - tTrial.Makespan
+					dc := f.assignmentCost(w, a) - cost
 					if dm > dag.Eps && dc <= cextra+costEps {
 						if bi == -1 || dm > bestDM+dag.Eps ||
 							(dm >= bestDM-dag.Eps && dc < bestDC-costEps) {
 							bi, br, bj = i, r, j
 							bestDM, bestDC = dm, dc
-							bestEv = trialEv
+							bestMk = tTrial.Makespan
 						}
 					}
 				}
@@ -93,10 +120,16 @@ func (f *Fabric) Schedule(w *workflow.Workflow, budget float64) (*Result, error)
 			break
 		}
 		a.Region[bi], a.Type[bi] = br, bj
-		ev = bestEv
 		cost += bestDC
+		curMk = bestMk
+		// Refresh the current timing to the accepted assignment; the full
+		// pass reproduces the winning trial's values bit for bit.
+		execTimes(timesCur)
+		if err := t.Update(timesCur); err != nil {
+			return nil, err
+		}
 	}
-	res := &Result{Assignment: a, MED: ev.Makespan, Cost: cost}
+	res := &Result{Assignment: a, MED: curMk, Cost: cost}
 	// Portfolio guard: a greedy that may pay egress early can end worse
 	// than never leaving one region, so the scheduler also evaluates
 	// single-region confinement and returns the better of the two.
@@ -109,6 +142,24 @@ func (f *Fabric) Schedule(w *workflow.Workflow, budget float64) (*Result, error)
 		}
 	}
 	return res, nil
+}
+
+// assignmentCost returns the total (execution + transfer) cost of a
+// without building an Evaluation, summing in the same order as Evaluate so
+// the floats are bit-identical.
+func (f *Fabric) assignmentCost(w *workflow.Workflow, a Assignment) float64 {
+	exec := 0.0
+	for i := 0; i < w.NumModules(); i++ {
+		exec += f.execCost(w, a, i)
+	}
+	transfer := 0.0
+	g := w.Graph()
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Succ(u) {
+			transfer += f.transferCost(w, a, u, v)
+		}
+	}
+	return exec + transfer
 }
 
 // SingleRegionBest schedules within each region alone (no cross-cloud

@@ -54,9 +54,15 @@ func (a *Anneal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 		}
 		cheapest[i] = best
 	}
+	// All per-iteration state is allocated once here and reused: the
+	// permutation buffer (permInto replicates rand.Perm's stream), the
+	// trial/current schedules (swapped on acceptance), and one incremental
+	// timing refreshed in place by med.
+	perm := make([]int, len(mods))
 	repair := func(s workflow.Schedule) {
 		cost := m.Cost(s)
-		for _, k := range rng.Perm(len(mods)) {
+		permInto(rng, perm)
+		for _, k := range perm {
 			if cost <= budget+costEps {
 				return
 			}
@@ -67,12 +73,22 @@ func (a *Anneal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 			}
 		}
 	}
+	var (
+		times  []float64
+		timing *dag.Timing
+	)
 	med := func(s workflow.Schedule) float64 {
-		t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
-		if err != nil {
-			return math.Inf(1) // unreachable on a validated workflow
+		times = m.TimesInto(s, times)
+		if timing == nil {
+			t, err := dag.NewTiming(w.Graph(), times, nil)
+			if err != nil {
+				return math.Inf(1) // unreachable on a validated workflow
+			}
+			timing = t
+		} else if err := timing.Update(times); err != nil {
+			return math.Inf(1)
 		}
-		return t.Makespan
+		return timing.Makespan
 	}
 
 	cur, err := CriticalGreedy().Schedule(w, m, budget)
@@ -82,6 +98,7 @@ func (a *Anneal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 	curMED := med(cur)
 	best := cur.Clone()
 	bestMED := curMED
+	trial := make(workflow.Schedule, len(cur))
 
 	// Initial temperature: a few percent of the starting makespan, so
 	// early uphill moves of that scale are plausible.
@@ -90,7 +107,7 @@ func (a *Anneal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 		temp = 1
 	}
 	for it := 0; it < iters; it++ {
-		trial := cur.Clone()
+		copy(trial, cur)
 		i := mods[rng.Intn(len(mods))]
 		trial[i] = rng.Intn(n)
 		repair(trial)
@@ -100,9 +117,11 @@ func (a *Anneal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 		tMED := med(trial)
 		d := tMED - curMED
 		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
-			cur, curMED = trial, tMED
+			cur, trial = trial, cur
+			curMED = tMED
 			if curMED < bestMED {
-				best, bestMED = cur.Clone(), curMED
+				copy(best, cur)
+				bestMED = curMED
 			}
 		}
 		temp *= cooling

@@ -43,6 +43,8 @@ type Greedy struct {
 	Label      string
 	Candidates CandidateSet
 	Rank       Criterion
+
+	eng engine
 }
 
 // CriticalGreedy returns the paper's Critical-Greedy algorithm (Alg. 1).
@@ -55,31 +57,48 @@ func (g *Greedy) Name() string { return g.Label }
 
 // Schedule implements Scheduler.
 func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
-	s, ctmp, err := checkFeasible(w, m, budget)
+	return g.ScheduleInto(nil, w, m, budget)
+}
+
+// ScheduleInto implements IntoScheduler. The engine keeps the incremental
+// timing bound to the current schedule: each accepted upgrade re-relaxes
+// only the affected suffix of the topological order instead of rebuilding
+// the whole forward/backward pass, and the critical-path candidate list is
+// collected into a reused scratch slice.
+func (g *Greedy) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
 		return nil, err
 	}
-	n := len(m.Catalog)
+	e := &g.eng
+	e.bind(w, m)
+	needTiming := g.Candidates == CriticalOnly
+	if needTiming {
+		if err := e.resetTiming(s); err != nil {
+			return nil, err
+		}
+	}
 	for {
 		cextra := budget - ctmp
 		if cextra <= 0 {
 			break
 		}
-		candidates, err := g.candidates(w, m, s)
-		if err != nil {
-			return nil, err
+		candidates := e.mods
+		if needTiming {
+			candidates = e.critical()
 		}
 		bi, bj := -1, -1
 		var bestDT, bestDC float64
 		for _, i := range candidates {
-			told := m.TE[i][s[i]]
-			cold := m.CE[i][s[i]]
-			for j := 0; j < n; j++ {
+			tei, cei := m.TE[i], m.CE[i]
+			told := tei[s[i]]
+			cold := cei[s[i]]
+			for _, j := range e.opts(i) {
 				if j == s[i] {
 					continue
 				}
-				dt := told - m.TE[i][j] // Eq. 10
-				dc := m.CE[i][j] - cold // Eq. 11
+				dt := told - tei[j] // Eq. 10
+				dc := cei[j] - cold // Eq. 11
 				if dt <= dag.Eps {
 					continue // not an upgrade
 				}
@@ -96,6 +115,9 @@ func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 		}
 		s[bi] = bj
 		ctmp += bestDC
+		if needTiming {
+			e.updateNode(bi, bj)
+		}
 	}
 	return s, nil
 }
@@ -104,23 +126,6 @@ func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 // products of catalog rates with small integers, so any real violation is
 // far larger.
 const costEps = 1e-9
-
-func (g *Greedy) candidates(w *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule) ([]int, error) {
-	if g.Candidates == AllModules {
-		return w.Schedulable(), nil
-	}
-	t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
-	if err != nil {
-		return nil, err
-	}
-	var out []int
-	for _, i := range w.Schedulable() {
-		if t.IsCritical(i) {
-			out = append(out, i)
-		}
-	}
-	return out, nil
-}
 
 // better reports whether the candidate (dt, dc) beats the incumbent
 // (bestDT, bestDC) under the configured criterion.

@@ -33,13 +33,18 @@ func DeadlineLoss(w *workflow.Workflow, m *workflow.Matrices, deadline float64) 
 	if ev.Makespan > deadline+dag.Eps {
 		return nil, fmt.Errorf("%w: deadline %.6g < fastest makespan %.6g", ErrDeadline, deadline, ev.Makespan)
 	}
+	var e engine
+	e.bind(w, m)
+	if err := e.resetTiming(s); err != nil {
+		return nil, err
+	}
 	cost := ev.Cost
 	cur := ev.Makespan
 	for {
 		bi, bj := -1, -1
 		var bestSave, bestDM float64
-		for _, i := range w.Schedulable() {
-			for j := range m.Catalog {
+		for _, i := range e.mods {
+			for _, j := range e.opts(i) {
 				if j == s[i] {
 					continue
 				}
@@ -47,16 +52,11 @@ func DeadlineLoss(w *workflow.Workflow, m *workflow.Matrices, deadline float64) 
 				if save <= costEps {
 					continue
 				}
-				trial := s.Clone()
-				trial[i] = j
-				t, terr := dag.NewTiming(w.Graph(), m.Times(trial), nil)
-				if terr != nil {
-					return nil, terr
-				}
-				if t.Makespan > deadline+dag.Eps {
+				mk := e.t.WhatIfMakespan(i, m.TE[i][j])
+				if mk > deadline+dag.Eps {
 					continue
 				}
-				dm := t.Makespan - cur
+				dm := mk - cur
 				if bi == -1 || save > bestSave+costEps ||
 					(save >= bestSave-costEps && dm < bestDM-dag.Eps) {
 					bi, bj, bestSave, bestDM = i, j, save, dm
@@ -69,6 +69,7 @@ func DeadlineLoss(w *workflow.Workflow, m *workflow.Matrices, deadline float64) 
 		s[bi] = bj
 		cost -= bestSave
 		cur += bestDM
+		e.updateNode(bi, bj)
 	}
 	return &Result{Schedule: s, MED: cur, Cost: cost}, nil
 }
@@ -121,18 +122,16 @@ func OptimalDeadline(w *workflow.Workflow, m *workflow.Matrices, deadline float6
 	var expanded int64
 
 	cur := fastest.Clone()
-	// makespanLB: any completion's makespan is at least the one where
-	// the unassigned suffix runs at the fastest types.
-	makespanLB := func(depth int) float64 {
-		trial := cur.Clone()
-		for k := depth; k < len(mods); k++ {
-			trial[mods[k]] = fastType[k]
-		}
-		t, terr := dag.NewTiming(w.Graph(), m.Times(trial), nil)
-		if terr != nil {
-			return math.Inf(1) // unreachable: structure validated
-		}
-		return t.Makespan
+	// Incremental makespan lower bound: the timing is maintained under the
+	// invariant "assigned prefix of cur, fastest types for the unassigned
+	// suffix", so t.Makespan IS the bound — any completion's makespan is at
+	// least the one where the suffix runs at the fastest types. Each branch
+	// assignment re-relaxes one node suffix instead of rebuilding the DAG
+	// pass. (fastType may break time-ties differently from Fastest, but
+	// the execution times — all the bound sees — are identical.)
+	t, err := dag.NewTiming(w.Graph(), m.Times(cur), nil)
+	if err != nil {
+		return nil, err
 	}
 
 	var dfs func(depth int, cost float64)
@@ -144,16 +143,13 @@ func OptimalDeadline(w *workflow.Workflow, m *workflow.Matrices, deadline float6
 		if cost+suffixMin[depth] >= bestCost-costEps {
 			return // cannot beat the incumbent's cost
 		}
-		if makespanLB(depth) > deadline+dag.Eps {
+		if t.Makespan > deadline+dag.Eps {
 			return // no completion meets the deadline
 		}
 		if depth == len(mods) {
-			t, terr := dag.NewTiming(w.Graph(), m.Times(cur), nil)
-			if terr != nil {
-				return
-			}
+			// The suffix is empty, so the timing is exactly cur's.
 			if t.Makespan <= deadline+dag.Eps {
-				bestS = cur.Clone()
+				copy(bestS, cur)
 				bestCost = cost
 				bestMED = t.Makespan
 			}
@@ -162,9 +158,11 @@ func OptimalDeadline(w *workflow.Workflow, m *workflow.Matrices, deadline float6
 		i := mods[depth]
 		for j := 0; j < n; j++ {
 			cur[i] = j
+			t.UpdateNode(i, m.TE[i][j])
 			dfs(depth+1, cost+m.CE[i][j])
 		}
 		cur[i] = fastest[i]
+		t.UpdateNode(i, m.TE[i][fastest[i]])
 	}
 	dfs(0, 0)
 	return &Result{Schedule: bestS, MED: bestMED, Cost: bestCost}, nil

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// IntoScheduler is implemented by schedulers that can write their result
+// into a caller-provided schedule, so repeated scheduling of the same
+// instance runs without per-call result allocations.
+type IntoScheduler interface {
+	Scheduler
+	// ScheduleInto behaves like Schedule but reuses dst for the result
+	// when it has the right length (allocating otherwise).
+	ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error)
+}
+
+// engine is the scratch state a scheduler keeps between calls: the
+// incremental timing, the execution-time buffer it is bound to, the
+// schedulable-module list, and candidate/visited scratch. Binding is keyed
+// on the (workflow, matrices) pair, so a scheduler instance reused across
+// calls on the same instance reaches a steady state with zero per-iteration
+// heap allocations.
+//
+// A scheduler holding an engine is NOT safe for concurrent use; create one
+// instance per goroutine (the registry constructors always return fresh
+// instances).
+type engine struct {
+	w *workflow.Workflow
+	m *workflow.Matrices
+
+	t        *dag.Timing
+	times    []float64
+	mods     []int
+	cand     []int
+	allTypes []int
+	moved    []bool
+	lc       workflow.Schedule
+}
+
+// bind points the engine at a (workflow, matrices) pair, reusing all
+// scratch when the pair is unchanged since the last call.
+func (e *engine) bind(w *workflow.Workflow, m *workflow.Matrices) {
+	if e.w == w && e.m == m && len(e.times) == w.NumModules() {
+		return
+	}
+	e.w, e.m = w, m
+	e.t = nil
+	e.mods = w.Schedulable()
+	e.cand = make([]int, 0, len(e.mods))
+	nm := w.NumModules()
+	e.times = make([]float64, nm)
+	e.moved = make([]bool, nm)
+	n := len(m.Catalog)
+	e.allTypes = make([]int, n)
+	for j := range e.allTypes {
+		e.allTypes[j] = j
+	}
+}
+
+// resetTiming refreshes the incremental timing to schedule s, constructing
+// it on first use. Afterwards e.t aliases e.times: UpdateNode keeps both in
+// sync, and callers must never write e.times directly before updating.
+func (e *engine) resetTiming(s workflow.Schedule) error {
+	e.times = e.m.TimesInto(s, e.times)
+	if e.t == nil {
+		t, err := dag.NewTiming(e.w.Graph(), e.times, nil)
+		if err != nil {
+			return err
+		}
+		e.t = t
+		return nil
+	}
+	return e.t.Update(e.times)
+}
+
+// updateNode applies the reassignment of module i to type j to the bound
+// timing, re-relaxing only the affected suffix of the topological order.
+func (e *engine) updateNode(i, j int) {
+	e.t.UpdateNode(i, e.m.TE[i][j])
+}
+
+// critical fills the candidate scratch with the schedulable modules on the
+// current critical path.
+func (e *engine) critical() []int {
+	e.cand = e.cand[:0]
+	for _, i := range e.mods {
+		if e.t.IsCritical(i) {
+			e.cand = append(e.cand, i)
+		}
+	}
+	return e.cand
+}
+
+// opts returns the dominance-pruned VM-type options for module i, falling
+// back to all types when the matrices were built without BuildOptions.
+func (e *engine) opts(i int) []int {
+	if o := e.m.Options(i); o != nil {
+		return o
+	}
+	return e.allTypes
+}
+
+// resetMoved clears and returns the per-module visited scratch.
+func (e *engine) resetMoved() []bool {
+	for i := range e.moved {
+		e.moved[i] = false
+	}
+	return e.moved
+}
+
+// feasible runs the least-cost feasibility check into the engine's own
+// schedule scratch, for schedulers that do not start from least-cost.
+func (e *engine) feasible(budget float64) error {
+	lc, _, err := checkFeasibleInto(e.w, e.m, budget, e.lc)
+	if err != nil {
+		return err
+	}
+	e.lc = lc
+	return nil
+}
+
+// checkFeasibleInto is checkFeasible with a reusable destination for the
+// least-cost schedule.
+func checkFeasibleInto(w *workflow.Workflow, m *workflow.Matrices, budget float64, dst workflow.Schedule) (workflow.Schedule, float64, error) {
+	lc := m.LeastCostInto(w, dst)
+	cmin := m.Cost(lc)
+	if budget < cmin {
+		return nil, 0, fmt.Errorf("%w: budget %.6g < Cmin %.6g", ErrInfeasible, budget, cmin)
+	}
+	return lc, cmin, nil
+}
+
+// permInto fills p with a random permutation of 0..len(p)-1, drawing from
+// rng exactly as math/rand.Perm does. Metaheuristics seeded before this
+// change keep their random streams — and therefore their outputs —
+// bit-for-bit identical while dropping Perm's per-call allocation.
+func permInto(rng *rand.Rand, p []int) {
+	for i := range p {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}

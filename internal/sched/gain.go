@@ -39,6 +39,8 @@ import (
 // ablation baseline (see DESIGN.md §5).
 type GAIN struct {
 	Variant int // 1, 2 or 3
+
+	eng engine
 }
 
 // Name implements Scheduler.
@@ -55,30 +57,38 @@ func (g *GAIN) Name() string {
 
 // Schedule implements Scheduler.
 func (g *GAIN) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	return g.ScheduleInto(nil, w, m, budget)
+}
+
+// ScheduleInto implements IntoScheduler.
+func (g *GAIN) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	switch g.Variant {
 	case 1:
-		return g.staticOrder(w, m, budget)
+		return g.staticOrder(dst, w, m, budget)
 	case 2:
-		return g.oncePerTask(w, m, budget, true)
+		return g.oncePerTask(dst, w, m, budget, true)
 	default:
-		return g.oncePerTask(w, m, budget, false)
+		return g.oncePerTask(dst, w, m, budget, false)
 	}
 }
 
 // staticOrder implements GAIN1: one descending-weight pass over upgrades
-// precomputed against the least-cost schedule.
-func (g *GAIN) staticOrder(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
-	s, ctmp, err := checkFeasible(w, m, budget)
+// precomputed against the least-cost schedule. The upgrade list itself is
+// per-call setup; the application pass allocates nothing.
+func (g *GAIN) staticOrder(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
 		return nil, err
 	}
+	e := &g.eng
+	e.bind(w, m)
 	type upgrade struct {
 		i, j   int
 		dt, dc float64
 	}
 	var ups []upgrade
-	for _, i := range w.Schedulable() {
-		for j := range m.Catalog {
+	for _, i := range e.mods {
+		for _, j := range e.opts(i) {
 			if j == s[i] {
 				continue
 			}
@@ -97,7 +107,7 @@ func (g *GAIN) staticOrder(w *workflow.Workflow, m *workflow.Matrices, budget fl
 		}
 		return ups[a].dt > ups[b].dt
 	})
-	moved := make(map[int]bool)
+	moved := e.resetMoved()
 	for _, u := range ups {
 		if moved[u.i] {
 			continue
@@ -114,33 +124,35 @@ func (g *GAIN) staticOrder(w *workflow.Workflow, m *workflow.Matrices, budget fl
 
 // oncePerTask implements GAIN2 (makespanWeight true) and GAIN3: pick the
 // best affordable (task, type) pair each iteration, retiring each task
-// after its single reassignment.
-func (g *GAIN) oncePerTask(w *workflow.Workflow, m *workflow.Matrices, budget float64, makespanWeight bool) (workflow.Schedule, error) {
-	s, ctmp, err := checkFeasible(w, m, budget)
+// after its single reassignment. GAIN2's whole-DAG weights come from the
+// incremental timing's WhatIfMakespan probe instead of a trial Timing per
+// candidate, turning its O(candidates x full-DAG-pass) iteration into
+// O(candidates x affected-suffix) with zero allocations.
+func (g *GAIN) oncePerTask(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64, makespanWeight bool) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
 		return nil, err
 	}
-	moved := make(map[int]bool)
+	e := &g.eng
+	e.bind(w, m)
+	if makespanWeight {
+		if err := e.resetTiming(s); err != nil {
+			return nil, err
+		}
+	}
+	moved := e.resetMoved()
 	for {
 		cextra := budget - ctmp
 		if cextra <= 0 {
 			break
 		}
-		var cur *dag.Timing
-		if makespanWeight {
-			t, terr := dag.NewTiming(w.Graph(), m.Times(s), nil)
-			if terr != nil {
-				return nil, terr
-			}
-			cur = t
-		}
 		bi, bj := -1, -1
 		var bestDT, bestDC float64
-		for _, i := range w.Schedulable() {
+		for _, i := range e.mods {
 			if moved[i] {
 				continue
 			}
-			for j := range m.Catalog {
+			for _, j := range e.opts(i) {
 				if j == s[i] {
 					continue
 				}
@@ -153,13 +165,7 @@ func (g *GAIN) oncePerTask(w *workflow.Workflow, m *workflow.Matrices, budget fl
 					if m.TE[i][s[i]]-m.TE[i][j] <= dag.Eps {
 						continue
 					}
-					trial := s.Clone()
-					trial[i] = j
-					tt, terr := dag.NewTiming(w.Graph(), m.Times(trial), nil)
-					if terr != nil {
-						return nil, terr
-					}
-					dt = cur.Makespan - tt.Makespan
+					dt = e.t.Makespan - e.t.WhatIfMakespan(i, m.TE[i][j])
 				} else {
 					dt = m.TE[i][s[i]] - m.TE[i][j]
 				}
@@ -178,6 +184,9 @@ func (g *GAIN) oncePerTask(w *workflow.Workflow, m *workflow.Matrices, budget fl
 		s[bi] = bj
 		moved[bi] = true
 		ctmp += bestDC
+		if makespanWeight {
+			e.updateNode(bi, bj)
+		}
 	}
 	return s, nil
 }

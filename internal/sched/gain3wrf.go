@@ -25,20 +25,29 @@ import (
 //     greedily across tasks); rounds repeat until a full round makes no
 //     move. The second round is what upgrades w4 from VT2 to VT3 in the
 //     published B=180.1 and B=186.2 rows.
-type Gain3WRF struct{}
+type Gain3WRF struct {
+	eng engine
+}
 
 // Name implements Scheduler.
-func (Gain3WRF) Name() string { return "gain3-wrf" }
+func (*Gain3WRF) Name() string { return "gain3-wrf" }
 
 // Schedule implements Scheduler.
-func (Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
-	s, ctmp, err := checkFeasible(w, m, budget)
+func (g *Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	return g.ScheduleInto(nil, w, m, budget)
+}
+
+// ScheduleInto implements IntoScheduler.
+func (g *Gain3WRF) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
 		return nil, err
 	}
+	e := &g.eng
+	e.bind(w, m)
 	for {
 		movedAny := false
-		movedThisRound := make(map[int]bool)
+		movedThisRound := e.resetMoved()
 		for {
 			cextra := budget - ctmp
 			if cextra <= 0 {
@@ -46,11 +55,11 @@ func (Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget floa
 			}
 			bi, bj := -1, -1
 			best := math.Inf(-1)
-			for _, i := range w.Schedulable() {
+			for _, i := range e.mods {
 				if movedThisRound[i] {
 					continue
 				}
-				for j := range m.Catalog {
+				for _, j := range e.opts(i) {
 					if j == s[i] {
 						continue
 					}
@@ -84,5 +93,5 @@ func (Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget floa
 }
 
 func init() {
-	Register("gain3-wrf", func() Scheduler { return Gain3WRF{} })
+	Register("gain3-wrf", func() Scheduler { return &Gain3WRF{} })
 }

@@ -51,6 +51,7 @@ func (ga *Genetic) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 	rng := rand.New(rand.NewSource(ga.Seed))
 	mods := w.Schedulable()
 	n := len(m.Catalog)
+	nm := w.NumModules()
 
 	// repair downgrades random over-budget genes toward their cheapest
 	// type until the schedule is feasible. Because the least-cost type
@@ -66,12 +67,13 @@ func (ga *Genetic) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 		}
 		cheapest[i] = best
 	}
+	perm := make([]int, len(mods))
 	repair := func(s workflow.Schedule) {
 		cost := m.Cost(s)
 		if cost <= budget+costEps {
 			return
 		}
-		perm := rng.Perm(len(mods))
+		permInto(rng, perm)
 		for _, k := range perm {
 			i := mods[k]
 			if s[i] == cheapest[i] {
@@ -89,31 +91,58 @@ func (ga *Genetic) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 		s   workflow.Schedule
 		med float64
 	}
+	var (
+		times  []float64
+		timing *dag.Timing
+	)
 	fitness := func(s workflow.Schedule) float64 {
-		t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
-		if err != nil {
-			return 1e300 // structurally impossible: already validated
+		times = m.TimesInto(s, times)
+		if timing == nil {
+			t, err := dag.NewTiming(w.Graph(), times, nil)
+			if err != nil {
+				return 1e300 // structurally impossible: already validated
+			}
+			timing = t
+		} else if err := timing.Update(times); err != nil {
+			return 1e300
 		}
-		return t.Makespan
+		return timing.Makespan
 	}
+
+	// Two generation-sized slabs of schedule storage, ping-ponged between
+	// the current population and the one under construction: individuals
+	// are never mutated after insertion, so carrying elites forward by
+	// content copy is equivalent to carrying their backing arrays.
+	var slabs [2][]workflow.Schedule
+	for b := range slabs {
+		slabs[b] = make([]workflow.Schedule, pop)
+		backing := make([]int, pop*nm)
+		for k := range slabs[b] {
+			slabs[b][k] = backing[k*nm : (k+1)*nm]
+		}
+	}
+	act := 0
 
 	// Seed the population with the least-cost schedule, greedy
 	// solutions, and random feasible individuals.
 	population := make([]indiv, 0, pop)
-	add := func(s workflow.Schedule) {
+	add := func(src workflow.Schedule) {
+		s := slabs[act][len(population)]
+		copy(s, src)
 		repair(s)
 		population = append(population, indiv{s: s, med: fitness(s)})
 	}
-	add(lc.Clone())
+	add(lc)
 	if cg, err := CriticalGreedy().Schedule(w, m, budget); err == nil {
 		add(cg)
 	}
+	seed := lc.Clone()
 	for len(population) < pop {
-		s := lc.Clone()
+		copy(seed, lc)
 		for _, i := range mods {
-			s[i] = rng.Intn(n)
+			seed[i] = rng.Intn(n)
 		}
-		add(s)
+		add(seed)
 	}
 
 	tournament := func() indiv {
@@ -131,14 +160,23 @@ func (ga *Genetic) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 			best = ind
 		}
 	}
+	bestS := best.s.Clone() // survives slab recycling
+	next := make([]indiv, 0, pop)
 	for g := 0; g < gens; g++ {
-		next := make([]indiv, 0, pop)
+		act ^= 1
+		dst := slabs[act]
+		next = next[:0]
 		// Elitism: carry the two best forward.
 		sort.SliceStable(population, func(a, b int) bool { return population[a].med < population[b].med })
-		next = append(next, population[0], population[1])
+		for _, elite := range population[:2] {
+			s := dst[len(next)]
+			copy(s, elite.s)
+			next = append(next, indiv{s: s, med: elite.med})
+		}
 		for len(next) < pop {
 			p1, p2 := tournament(), tournament()
-			child := p1.s.Clone()
+			child := dst[len(next)]
+			copy(child, p1.s)
 			for _, i := range mods {
 				if rng.Intn(2) == 0 {
 					child[i] = p2.s[i]
@@ -150,14 +188,15 @@ func (ga *Genetic) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 			repair(child)
 			next = append(next, indiv{s: child, med: fitness(child)})
 		}
-		population = next
+		population, next = next, population
 		for _, ind := range population {
 			if ind.med < best.med {
 				best = ind
+				copy(bestS, ind.s)
 			}
 		}
 	}
-	return best.s, nil
+	return bestS, nil
 }
 
 func init() {

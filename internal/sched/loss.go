@@ -25,6 +25,8 @@ import (
 // with per-task least-cost drops if the budget still does not hold.
 type LOSS struct {
 	Variant int // 1, 2 or 3
+
+	eng engine
 }
 
 // Name implements Scheduler.
@@ -40,27 +42,33 @@ func (l *LOSS) Name() string {
 
 // Schedule implements Scheduler.
 func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
-	if _, _, err := checkFeasible(w, m, budget); err != nil {
+	return l.ScheduleInto(nil, w, m, budget)
+}
+
+// ScheduleInto implements IntoScheduler. LOSS2's whole-DAG LossWeights are
+// probed with WhatIfMakespan against a single incremental timing instead of
+// one trial Timing per candidate.
+func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	e := &l.eng
+	e.bind(w, m)
+	if err := e.feasible(budget); err != nil {
 		return nil, err
 	}
 	if l.Variant == 3 {
-		return l.staticPass(w, m, budget)
+		return l.staticPass(dst, w, m, budget)
 	}
-	s := m.Fastest(w)
+	s := m.FastestInto(w, dst)
 	ctmp := m.Cost(s)
-	for ctmp > budget+costEps {
-		var cur *dag.Timing
-		if l.Variant == 2 {
-			t, err := dag.NewTiming(w.Graph(), m.Times(s), nil)
-			if err != nil {
-				return nil, err
-			}
-			cur = t
+	if l.Variant == 2 {
+		if err := e.resetTiming(s); err != nil {
+			return nil, err
 		}
+	}
+	for ctmp > budget+costEps {
 		bi, bj := -1, -1
 		var bestW, bestDC float64
-		for _, i := range w.Schedulable() {
-			for j := range m.Catalog {
+		for _, i := range e.mods {
+			for _, j := range e.opts(i) {
 				if j == s[i] {
 					continue
 				}
@@ -71,13 +79,7 @@ func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 				var dt float64 // time lost
 				switch l.Variant {
 				case 2:
-					trial := s.Clone()
-					trial[i] = j
-					tt, err := dag.NewTiming(w.Graph(), m.Times(trial), nil)
-					if err != nil {
-						return nil, err
-					}
-					dt = tt.Makespan - cur.Makespan
+					dt = e.t.WhatIfMakespan(i, m.TE[i][j]) - e.t.Makespan
 				default:
 					dt = m.TE[i][j] - m.TE[i][s[i]]
 				}
@@ -99,6 +101,9 @@ func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 		}
 		s[bi] = bj
 		ctmp -= bestDC
+		if l.Variant == 2 {
+			e.updateNode(bi, bj)
+		}
 	}
 	return s, nil
 }
@@ -108,8 +113,9 @@ func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 // first), one downgrade per task; if the budget still does not hold after
 // the pass, remaining tasks drop to their least-cost types in weight
 // order, which always lands at or below Cmin <= budget.
-func (l *LOSS) staticPass(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
-	s := m.Fastest(w)
+func (l *LOSS) staticPass(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	e := &l.eng
+	s := m.FastestInto(w, dst)
 	ctmp := m.Cost(s)
 	type downgrade struct {
 		i, j   int
@@ -117,8 +123,8 @@ func (l *LOSS) staticPass(w *workflow.Workflow, m *workflow.Matrices, budget flo
 		save   float64
 	}
 	var downs []downgrade
-	for _, i := range w.Schedulable() {
-		for j := range m.Catalog {
+	for _, i := range e.mods {
+		for _, j := range e.opts(i) {
 			if j == s[i] {
 				continue
 			}
@@ -139,7 +145,7 @@ func (l *LOSS) staticPass(w *workflow.Workflow, m *workflow.Matrices, budget flo
 		}
 		return downs[a].save > downs[b].save
 	})
-	moved := make(map[int]bool)
+	moved := e.resetMoved()
 	for _, d := range downs {
 		if ctmp <= budget+costEps {
 			break

@@ -70,18 +70,20 @@ func (o *Optimal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget fl
 	var expanded int64
 
 	cur := lc.Clone()
-	// makespanLB: lower bound on the makespan of any completion of the
-	// current prefix — unassigned modules run at their fastest type.
-	makespanLB := func(depth int) float64 {
-		trial := cur.Clone()
-		for k := depth; k < len(mods); k++ {
-			trial[mods[k]] = fastest[k]
-		}
-		t, terr := dag.NewTiming(w.Graph(), m.Times(trial), nil)
-		if terr != nil {
-			return 0 // unreachable: structure validated above
-		}
-		return t.Makespan
+	// Incremental makespan lower bound: the timing is maintained under the
+	// invariant "assigned prefix of cur, fastest types for the unassigned
+	// suffix", so t.Makespan is always the bound — and at a leaf it is the
+	// exact makespan of cur — without re-running a full DAG pass per search
+	// node. Each branch assignment re-relaxes one node suffix; the type is
+	// restored to the fastest after the branch loop to keep the invariant
+	// for the parent's remaining siblings.
+	init := cur.Clone()
+	for k, i := range mods {
+		init[i] = fastest[k]
+	}
+	t, err := dag.NewTiming(w.Graph(), m.Times(init), nil)
+	if err != nil {
+		return nil, err
 	}
 
 	var dfs func(depth int, cost float64)
@@ -94,25 +96,24 @@ func (o *Optimal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget fl
 			return // cannot finish within budget
 		}
 		if depth == len(mods) {
-			t, terr := dag.NewTiming(w.Graph(), m.Times(cur), nil)
-			if terr != nil {
-				return
-			}
+			// The suffix is empty: the timing is exactly cur's.
 			if t.Makespan < bestMED-dag.Eps ||
 				(t.Makespan <= bestMED+dag.Eps && cost < bestCost-costEps) {
 				bestMED, bestCost = t.Makespan, cost
-				bestS = cur.Clone()
+				copy(bestS, cur)
 			}
 			return
 		}
-		if makespanLB(depth) > bestMED+dag.Eps {
+		if t.Makespan > bestMED+dag.Eps {
 			return // even the all-fastest completion loses
 		}
 		i := mods[depth]
 		for j := 0; j < n; j++ {
 			cur[i] = j
+			t.UpdateNode(i, m.TE[i][j])
 			dfs(depth+1, cost+m.CE[i][j])
 		}
+		t.UpdateNode(i, m.TE[i][fastest[depth]])
 	}
 	dfs(0, 0)
 	return bestS, nil

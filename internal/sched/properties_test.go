@@ -164,3 +164,66 @@ func TestBillingPolicyAblation(t *testing.T) {
 		t.Fatalf("exact billing MED %v worse than hourly %v", eres.MED, hres.MED)
 	}
 }
+
+// TestIntoSchedulersReusableAcrossInstances checks the steady-state
+// contract of every IntoScheduler in the registry: one instance, its
+// scratch rebound across a stream of random instances and budgets, must
+// return exactly the schedule a throwaway instance computes. This is the
+// property the zero-allocation engine rests on — stale scratch from a
+// previous workflow or budget must never leak into the next result.
+func TestIntoSchedulersReusableAcrossInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	reused := map[string]IntoScheduler{}
+	for _, name := range Names() {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if into, ok := sc.(IntoScheduler); ok {
+			reused[name] = into
+		}
+	}
+	if len(reused) == 0 {
+		t.Fatal("no IntoScheduler in registry")
+	}
+	var dst map[string][]int
+	for trial := 0; trial < 10; trial++ {
+		sizes := []gen.ProblemSize{
+			{M: 8, E: 12, N: 3}, {M: 14, E: 40, N: 5}, {M: 25, E: 120, N: 4},
+		}
+		wf, cat, err := gen.Instance(rng, sizes[trial%len(sizes)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		cmin, cmax := m.BudgetRange(wf)
+		b := cmin + rng.Float64()*(cmax-cmin)
+		if dst == nil {
+			dst = map[string][]int{}
+		}
+		for name, into := range reused {
+			fresh, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Schedule(wf, m, b)
+			if err != nil {
+				t.Fatalf("trial %d %s: fresh: %v", trial, name, err)
+			}
+			got, err := into.ScheduleInto(dst[name], wf, m, b)
+			if err != nil {
+				t.Fatalf("trial %d %s: reused: %v", trial, name, err)
+			}
+			dst[name] = got
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: len %d != %d", trial, name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s: module %d: reused %d != fresh %d",
+						trial, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

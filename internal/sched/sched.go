@@ -62,12 +62,7 @@ func Improvement(medBase, medAlg float64) float64 {
 // checkFeasible returns the least-cost schedule and its cost, or
 // ErrInfeasible if even that exceeds the budget.
 func checkFeasible(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, float64, error) {
-	lc := m.LeastCost(w)
-	cmin := m.Cost(lc)
-	if budget < cmin {
-		return nil, 0, fmt.Errorf("%w: budget %.6g < Cmin %.6g", ErrInfeasible, budget, cmin)
-	}
-	return lc, cmin, nil
+	return checkFeasibleInto(w, m, budget, nil)
 }
 
 // registry maps algorithm names to constructors so tools can select

@@ -1,0 +1,128 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+)
+
+// optionsFixture builds a 3-module workflow over a catalog where hourly
+// round-up billing makes the middle type dominated for some workloads.
+func optionsFixture(t *testing.T) (*Workflow, *Matrices) {
+	t.Helper()
+	w := New()
+	w.AddModule(Module{Name: "w0", Fixed: true, FixedTime: 1})
+	a := w.AddModule(Module{Name: "a", Workload: 33})
+	b := w.AddModule(Module{Name: "b", Workload: 90})
+	w.AddModule(Module{Name: "end", Fixed: true, FixedTime: 1})
+	if err := w.AddDependency(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	cat := cloud.Catalog{
+		{Name: "slow", Power: 3, Rate: 1},
+		{Name: "mid", Power: 15, Rate: 4},
+		{Name: "fast", Power: 30, Rate: 8},
+	}
+	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m
+}
+
+func TestOptionsPruneDominatedTypes(t *testing.T) {
+	_, m := optionsFixture(t)
+	for i := range m.TE {
+		opts := m.Options(i)
+		if len(opts) == 0 {
+			t.Fatalf("module %d: empty option list", i)
+		}
+		// Every surviving option must be undominated by every other
+		// surviving option with a smaller index.
+		for x, j := range opts {
+			for _, k := range opts[:x] {
+				if m.TE[i][k] <= m.TE[i][j] && m.CE[i][k] <= m.CE[i][j] {
+					t.Fatalf("module %d: option %d survives although %d dominates it", i, j, k)
+				}
+			}
+		}
+		// Every pruned option must be dominated by some survivor.
+		for j := range m.TE[i] {
+			kept := false
+			for _, o := range opts {
+				if o == j {
+					kept = true
+					break
+				}
+			}
+			if kept {
+				continue
+			}
+			dominated := false
+			for _, k := range opts {
+				if k < j && m.TE[i][k] <= m.TE[i][j] && m.CE[i][k] <= m.CE[i][j] {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("module %d: option %d pruned without a dominating survivor", i, j)
+			}
+		}
+	}
+}
+
+func TestOptionsNilWithoutBuild(t *testing.T) {
+	m := &Matrices{TE: [][]float64{{1, 2}}, CE: [][]float64{{2, 1}}}
+	if m.Options(0) != nil {
+		t.Fatal("Options should be nil before BuildOptions")
+	}
+	m.BuildOptions()
+	if got := m.Options(0); len(got) != 2 {
+		t.Fatalf("no option dominated here, want both, got %v", got)
+	}
+}
+
+func TestTimesIntoMatchesTimes(t *testing.T) {
+	w, m := optionsFixture(t)
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]float64, w.NumModules())
+	for trial := 0; trial < 20; trial++ {
+		s := make(Schedule, w.NumModules())
+		for i := range s {
+			if w.Module(i).Fixed {
+				s[i] = -1
+				continue
+			}
+			s[i] = rng.Intn(len(m.Catalog))
+		}
+		want := m.Times(s)
+		got := m.TimesInto(s, buf)
+		if &got[0] != &buf[0] {
+			t.Fatal("TimesInto did not reuse the buffer")
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: times[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	// Wrong-size destination must be replaced, not written out of range.
+	if got := m.TimesInto(make(Schedule, w.NumModules()), make([]float64, 1)); len(got) != w.NumModules() {
+		t.Fatalf("TimesInto with short dst returned len %d", len(got))
+	}
+}
+
+func TestLeastCostIntoMatchesLeastCost(t *testing.T) {
+	w, m := optionsFixture(t)
+	want := m.LeastCost(w)
+	buf := make(Schedule, w.NumModules())
+	got := m.LeastCostInto(w, buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("LeastCostInto did not reuse the buffer")
+	}
+	if !got.Equal(want) {
+		t.Fatalf("LeastCostInto = %v, want %v", got, want)
+	}
+}

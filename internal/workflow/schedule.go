@@ -49,15 +49,25 @@ func (w *Workflow) ValidateSchedule(s Schedule, numTypes int) error {
 
 // Times returns the per-module execution times under schedule s.
 func (m *Matrices) Times(s Schedule) []float64 {
-	out := make([]float64, len(m.TE))
+	return m.TimesInto(s, nil)
+}
+
+// TimesInto fills dst with the per-module execution times under schedule s
+// and returns it, allocating only when dst is nil or of the wrong length.
+// Reusing one buffer across greedy iterations keeps the scheduler hot loop
+// allocation-free.
+func (m *Matrices) TimesInto(s Schedule, dst []float64) []float64 {
+	if len(dst) != len(m.TE) {
+		dst = make([]float64, len(m.TE))
+	}
 	for i, j := range s {
 		if j < 0 {
-			out[i] = m.TE[i][0] // fixed module: identical in every column
+			dst[i] = m.TE[i][0] // fixed module: identical in every column
 			continue
 		}
-		out[i] = m.TE[i][j]
+		dst[i] = m.TE[i][j]
 	}
-	return out
+	return dst
 }
 
 // Cost returns C_total, the summed execution cost of schedule s (Eq. 9).
@@ -99,7 +109,16 @@ func (w *Workflow) Evaluate(m *Matrices, s Schedule, edgeW dag.EdgeWeight) (*Eva
 // min-cost type, ties broken by the minimum execution time among the
 // cheapest types (Alg. 1 step 2). Fixed modules get -1.
 func (m *Matrices) LeastCost(w *Workflow) Schedule {
-	s := make(Schedule, len(m.TE))
+	return m.LeastCostInto(w, nil)
+}
+
+// LeastCostInto writes the least-cost schedule into dst and returns it,
+// allocating only when dst is nil or of the wrong length.
+func (m *Matrices) LeastCostInto(w *Workflow, dst Schedule) Schedule {
+	s := dst
+	if len(s) != len(m.TE) {
+		s = make(Schedule, len(m.TE))
+	}
 	for i := range m.TE {
 		if w.mods[i].Fixed {
 			s[i] = -1
@@ -123,7 +142,16 @@ func (m *Matrices) LeastCost(w *Workflow) Schedule {
 // Fastest returns S_fastest: each schedulable module mapped to its
 // min-time type, ties broken by minimum cost.
 func (m *Matrices) Fastest(w *Workflow) Schedule {
-	s := make(Schedule, len(m.TE))
+	return m.FastestInto(w, nil)
+}
+
+// FastestInto writes the fastest schedule into dst and returns it,
+// allocating only when dst is nil or of the wrong length.
+func (m *Matrices) FastestInto(w *Workflow, dst Schedule) Schedule {
+	s := dst
+	if len(s) != len(m.TE) {
+		s = make(Schedule, len(m.TE))
+	}
 	for i := range m.TE {
 		if w.mods[i].Fixed {
 			s[i] = -1

@@ -151,6 +151,54 @@ type Matrices struct {
 	TE, CE  [][]float64
 	Catalog cloud.Catalog
 	Billing cloud.BillingPolicy
+
+	// opts caches, per module, the VM-type indices that survive dominance
+	// pruning (see BuildOptions). Built once by BuildMatrices; nil when
+	// the Matrices were assembled by hand and BuildOptions was not called.
+	opts [][]int
+}
+
+// BuildOptions precomputes, for every module, the list of VM-type indices
+// worth scanning: type j is dropped when an earlier type k <= j is at least
+// as fast AND at least as cheap for that module (TE[i][k] <= TE[i][j] and
+// CE[i][k] <= CE[i][j]). Such a j can never be preferred by any scheduler
+// in this repo — every ranking criterion weakly prefers k, and on exact
+// ties every scanner takes the lower index first — so pruning leaves all
+// schedules bit-for-bit unchanged while shrinking the inner O(m*n) scans.
+// Under round-up billing dominated types are common: a faster VM often
+// bills fewer rounded hours and ends up cheaper as well.
+//
+// BuildMatrices calls this automatically; call it manually after building
+// Matrices by hand. Not safe for concurrent use with readers.
+func (m *Matrices) BuildOptions() {
+	m.opts = make([][]int, len(m.TE))
+	for i := range m.TE {
+		n := len(m.TE[i])
+		opts := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			dominated := false
+			for _, k := range opts {
+				if m.TE[i][k] <= m.TE[i][j] && m.CE[i][k] <= m.CE[i][j] {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				opts = append(opts, j)
+			}
+		}
+		m.opts[i] = opts
+	}
+}
+
+// Options returns the dominance-pruned VM-type indices for module i in
+// ascending order, or nil when BuildOptions has not run (callers then scan
+// all types). The slice is shared and must not be modified.
+func (m *Matrices) Options(i int) []int {
+	if m.opts == nil {
+		return nil
+	}
+	return m.opts[i]
 }
 
 // BuildMatrices computes TE and CE for the workflow over the catalog under
@@ -186,6 +234,7 @@ func (w *Workflow) BuildMatrices(cat cloud.Catalog, billing cloud.BillingPolicy)
 			mt.CE[i][j] = cloud.ExecCost(billing, cat[j], w.mods[i].Workload)
 		}
 	}
+	mt.BuildOptions()
 	return mt, nil
 }
 

@@ -111,6 +111,7 @@ func Matrices(w *workflow.Workflow) *workflow.Matrices {
 		}
 		k++
 	}
+	m.BuildOptions()
 	return m
 }
 

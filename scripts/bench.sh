@@ -1,0 +1,47 @@
+#!/bin/sh
+# Run the root benchmark suite and distill it into a JSON snapshot.
+#
+# Usage: scripts/bench.sh [out.json]
+#
+# Environment:
+#   COUNT   benchmark repetitions per name (default 5; best run is kept)
+#   PATTERN -bench regex (default '.', everything)
+#
+# Output maps benchmark name -> {ns_per_op, allocs_per_op}, taking the
+# fastest of the COUNT runs (the least noise-contaminated estimate) and the
+# allocation count, which is deterministic across runs.
+set -eu
+cd "$(dirname "$0")/.."
+COUNT="${COUNT:-5}"
+PATTERN="${PATTERN:-.}"
+OUT="${1:-BENCH_1.json}"
+TMP=".bench.raw.$$"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+go test -bench "$PATTERN" -benchmem -count "$COUNT" -run '^$' . | tee "$TMP"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+	if (allocs != "") al[name] = allocs
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		a = (name in al) ? al[name] : "null"
+		printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, best[name], a, (i < n ? "," : "")
+	}
+	printf "}\n"
+}' "$TMP" > "$OUT"
+echo "wrote $OUT"

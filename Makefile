@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments experiments-quick fuzz cover clean
+.PHONY: all build vet test bench bench-check experiments experiments-quick fuzz cover clean
 
 all: build vet test
 
@@ -19,6 +19,13 @@ test:
 # BENCH_1.json (see scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
+
+# Re-run the sweep into BENCH_2.json and fail when any benchmark present
+# in both snapshots regressed more than 25% in ns/op against the committed
+# BENCH_1.json baseline (threshold: MAX_REGRESSION_PCT).
+bench-check:
+	scripts/bench.sh BENCH_2.json
+	scripts/bench_compare.sh BENCH_1.json BENCH_2.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -262,9 +262,44 @@ func BenchmarkSimulatorReplay100(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	cfg := sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule, Bandwidth: 50, Delay: 0.001, BootTime: 0.1}
+	// Warm once so the loop measures the pooled replayer's steady state
+	// (same pattern as the scheduler benches): allocs/op should read 0.
+	var r sim.Replayer
+	if _, err := r.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule, Bandwidth: 50, Delay: 0.001, BootTime: 0.1}); err != nil {
+		if _, err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimValidateBatch(b *testing.B) {
+	// Campaign-scale replay: the flagship instance at 20 budget levels,
+	// sharded across GOMAXPROCS pooled replayers.
+	w, m, _ := benchInstance(b, gen.ProblemSize{M: 100, E: 2344, N: 9})
+	cmin, cmax := m.BudgetRange(w)
+	const levels = 20
+	cfgs := make([]sim.Config, 0, levels)
+	for k := 1; k <= levels; k++ {
+		budget := cmin + float64(k)/levels*(cmax-cmin)
+		res, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs = append(cfgs, sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule, Bandwidth: 50, Delay: 0.001, BootTime: 0.1})
+	}
+	var out []sim.BatchResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = sim.ValidateBatchInto(out, cfgs)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -44,6 +44,12 @@ type Graph struct {
 	// invalidated with it.
 	predOff, predAdj []int32
 	succOff, succAdj []int32
+
+	// version counts structural mutations (AddNode/AddEdge/Reset), so
+	// caches keyed on a *Graph pointer (scheduler engines, pooled
+	// builders) can detect that the graph was rebuilt in place behind the
+	// same address. It never decreases.
+	version uint64
 }
 
 // New returns an empty graph. Equivalent to new(Graph); provided for
@@ -57,14 +63,47 @@ func (g *Graph) invalidateTopo() {
 	g.pos = nil
 	g.predOff, g.predAdj = nil, nil
 	g.succOff, g.succAdj = nil, nil
+	g.version++
+}
+
+// Version returns the structural mutation counter: it changes whenever a
+// node or edge is added or the graph is Reset. Holders of derived state
+// (a Timing, a scheduler engine) compare versions to detect that a graph
+// reached through a retained pointer has been rebuilt in place.
+func (g *Graph) Version() uint64 { return g.version }
+
+// Reset empties the graph for rebuilding while retaining all allocated
+// storage: the node table, the per-node adjacency slices, and the cache
+// arrays keep their capacity, so a Graph cycled through Reset/AddNode/
+// AddEdge by a pooled generator reaches a steady state with near-zero
+// allocations. Any Timing or cached view of the old structure is
+// invalidated (see Version).
+func (g *Graph) Reset() {
+	g.invalidateTopo()
+	g.names = g.names[:0]
+	// Truncating the outer slices keeps the inner adjacency slices alive
+	// in the backing array; AddNode re-adopts them at capacity.
+	g.succ = g.succ[:0]
+	g.pred = g.pred[:0]
+	g.edges = 0
 }
 
 // AddNode appends a node with the given display name and returns its index.
 func (g *Graph) AddNode(name string) int {
 	g.invalidateTopo()
 	g.names = append(g.names, name)
-	g.succ = append(g.succ, nil)
-	g.pred = append(g.pred, nil)
+	// After a Reset the backing arrays still hold the old per-node
+	// adjacency slices; re-adopt them truncated so their capacity is
+	// reused instead of appending fresh nil slices.
+	if n := len(g.succ); n < cap(g.succ) && n < cap(g.pred) {
+		g.succ = g.succ[: n+1 : cap(g.succ)]
+		g.succ[n] = g.succ[n][:0]
+		g.pred = g.pred[: n+1 : cap(g.pred)]
+		g.pred[n] = g.pred[n][:0]
+	} else {
+		g.succ = append(g.succ, nil)
+		g.pred = append(g.pred, nil)
+	}
 	return len(g.names) - 1
 }
 

@@ -40,8 +40,10 @@ func Ablation(seed int64, size gen.ProblemSize, instances, levels int) ([]Ablati
 		err error
 	}
 	results := make([]work, instances)
-	parallelFor(instances, func(k int) {
-		w, m, cmin, cmax, err := buildInstance(seed, k, size)
+	scratch := newScratchPool(instances)
+	parallelForWorkers(instances, func(wk, k int) {
+		cs := &scratch[wk]
+		cmin, cmax, err := cs.instance(seed, k, size)
 		if err != nil {
 			results[k].err = err
 			return
@@ -50,17 +52,12 @@ func Ablation(seed int64, size gen.ProblemSize, instances, levels int) ([]Ablati
 		for lv := 1; lv <= levels; lv++ {
 			b := budgetLevel(cmin, cmax, lv, levels)
 			for _, cfg := range configs {
-				s, err := sched.Get(cfg.name)
+				med, err := cs.med(cfg.name, b)
 				if err != nil {
 					results[k].err = err
 					return
 				}
-				res, err := sched.Run(s, w, m, b)
-				if err != nil {
-					results[k].err = err
-					return
-				}
-				out = append(out, res.MED)
+				out = append(out, med)
 			}
 		}
 		results[k].med = out
@@ -101,10 +98,15 @@ type ValidationRow struct {
 }
 
 // SimValidation cross-checks analytic makespan/cost against event-driven
-// replay on `instances` random instances of the given size.
+// replay on `instances` random instances of the given size. It runs in two
+// parallel stages: instances are generated and scheduled concurrently,
+// then all replays go through sim.ValidateBatch, which shards the configs
+// across pooled Replayers.
 func SimValidation(seed int64, size gen.ProblemSize, instances int) ([]ValidationRow, error) {
 	rows := make([]ValidationRow, instances)
 	errs := make([]error, instances)
+	cfgs := make([]sim.Config, instances)
+	analytic := make([][2]float64, instances) // {MED, Cost} per instance
 	parallelFor(instances, func(k int) {
 		w, m, cmin, cmax, err := buildInstance(seed, k, size)
 		if err != nil {
@@ -119,21 +121,24 @@ func SimValidation(seed int64, size gen.ProblemSize, instances int) ([]Validatio
 			errs[k] = err
 			return
 		}
-		got, err := sim.Run(sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule})
-		if err != nil {
-			errs[k] = err
-			return
-		}
-		rows[k] = ValidationRow{
-			Size:        size,
-			Instance:    k + 1,
-			MakespanErr: math.Abs(got.Makespan - res.MED),
-			CostErr:     math.Abs(got.Cost - res.Cost),
-		}
+		cfgs[k] = sim.Config{Workflow: w, Matrices: m, Schedule: res.Schedule}
+		analytic[k] = [2]float64{res.MED, res.Cost}
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	batch, err := sim.ValidateBatch(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for k := range rows {
+		rows[k] = ValidationRow{
+			Size:        size,
+			Instance:    k + 1,
+			MakespanErr: math.Abs(batch[k].Makespan - analytic[k][0]),
+			CostErr:     math.Abs(batch[k].Cost - analytic[k][1]),
 		}
 	}
 	return rows, nil

@@ -25,14 +25,18 @@ type TableIVRow struct {
 // TableIV regenerates Table IV (and the Fig. 8 series, which plots its
 // improvement column): one random instance per problem size, scheduled by
 // CG and GAIN3 at `levels` budget levels across [Cmin, Cmax]; the paper
-// uses 20 levels over the 20 sizes of gen.PaperProblemSizes.
+// uses 20 levels over the 20 sizes of gen.PaperProblemSizes. Each fan-out
+// worker owns a campaignScratch, so the instance storage, schedulers, and
+// timing are reused across the sizes a worker processes.
 func TableIV(seed int64, levels int) ([]TableIVRow, error) {
 	sizes := gen.PaperProblemSizes()
 	rows := make([]TableIVRow, len(sizes))
 	errs := make([]error, len(sizes))
-	parallelFor(len(sizes), func(si int) {
+	scratch := newScratchPool(len(sizes))
+	parallelForWorkers(len(sizes), func(wk, si int) {
+		cs := &scratch[wk]
 		size := sizes[si]
-		w, m, cmin, cmax, err := buildInstance(seed, si, size)
+		cmin, cmax, err := cs.instance(seed, si, size)
 		if err != nil {
 			errs[si] = err
 			return
@@ -43,12 +47,17 @@ func TableIV(seed int64, levels int) ([]TableIVRow, error) {
 		perLvl := make([]float64, 0, levels)
 		for k := 1; k <= levels; k++ {
 			b := budgetLevel(cmin, cmax, k, levels)
-			cg, gain, err := runPair(w, m, b)
+			cg, err := cs.med("critical-greedy", b)
 			if err != nil {
 				errs[si] = err
 				return
 			}
-			wrfMED, err := runNamed("gain3-wrf", w, m, b)
+			gain, err := cs.med("gain3", b)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			wrfMED, err := cs.med("gain3-wrf", b)
 			if err != nil {
 				errs[si] = err
 				return
@@ -100,9 +109,11 @@ func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
 		err error
 	}
 	results := make([]instResult, len(sizes)*instances)
-	parallelFor(len(results), func(k int) {
+	scratch := newScratchPool(len(results))
+	parallelForWorkers(len(results), func(wk, k int) {
+		cs := &scratch[wk]
 		si := k / instances
-		w, m, cmin, cmax, err := buildInstance(seed+int64(si)*104729, k%instances, sizes[si])
+		cmin, cmax, err := cs.instance(seed+int64(si)*104729, k%instances, sizes[si])
 		if err != nil {
 			results[k].err = err
 			return
@@ -110,7 +121,12 @@ func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
 		imps := make([]float64, levels)
 		for lv := 1; lv <= levels; lv++ {
 			b := budgetLevel(cmin, cmax, lv, levels)
-			cg, gain, err := runPair(w, m, b)
+			cg, err := cs.med("critical-greedy", b)
+			if err != nil {
+				results[k].err = err
+				return
+			}
+			gain, err := cs.med("gain3", b)
 			if err != nil {
 				results[k].err = err
 				return

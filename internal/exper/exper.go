@@ -30,31 +30,43 @@ const DefaultSeed int64 = 2013
 // until all complete. Work items must be independent; determinism comes
 // from per-item seeding, not execution order.
 func parallelFor(n int, fn func(i int)) {
+	parallelForWorkers(n, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with worker identity: fn(w, i) runs
+// item i on worker w, and each worker index is used by exactly one
+// goroutine at a time, so callers can give every worker its own reusable
+// scratch (a gen.Builder, a scheduler with engine state, a sim.Replayer)
+// without locking. The work channel is buffered to n items: the producer
+// enqueues the whole range up front and never blocks on goroutine
+// handoff, which removes the synchronous rendezvous per item that
+// dominated fan-out overhead for cheap work items.
+func parallelForWorkers(n int, fn func(worker, i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
+	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				fn(w, i)
+			}
+		}(w)
+	}
 	wg.Wait()
 }
 

@@ -2,7 +2,9 @@ package exper
 
 import (
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -19,6 +21,28 @@ func TestParallelForCoversAllItems(t *testing.T) {
 	}
 }
 
+func TestParallelForWorkersCoversAllItemsOncePerWorker(t *testing.T) {
+	const n = 200
+	var hits [n]int32
+	var perWorker [n]int32 // worker indices are < min(GOMAXPROCS, n) <= n
+	parallelForWorkers(n, func(w, i int) {
+		atomic.AddInt32(&hits[i], 1)
+		atomic.AddInt32(&perWorker[w], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d ran %d times", i, h)
+		}
+	}
+	var total int32
+	for _, c := range perWorker {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("worker counts sum to %d, want %d", total, n)
+	}
+}
+
 func TestParallelForZeroAndOne(t *testing.T) {
 	parallelFor(0, func(i int) { t.Fatal("called for n=0") })
 	ran := false
@@ -26,6 +50,60 @@ func TestParallelForZeroAndOne(t *testing.T) {
 	if !ran {
 		t.Fatal("n=1 not executed")
 	}
+}
+
+// unbufferedParallelFor is the pre-buffering fan-out, kept here so the
+// benchmark below can measure what the buffered work channel saves: with
+// an unbuffered channel every item is a synchronous producer/consumer
+// rendezvous, which dominates when items are cheap (small campaign cells).
+func unbufferedParallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// BenchmarkParallelForFanOut measures pure fan-out overhead: dispatching
+// cheap work items across goroutines. "buffered" is the production
+// parallelFor; "unbuffered" is the old synchronous-handoff loop.
+func BenchmarkParallelForFanOut(b *testing.B) {
+	const items = 256
+	var sink atomic.Int64
+	work := func(i int) { sink.Add(int64(i)) }
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			parallelFor(items, work)
+		}
+	})
+	b.Run("unbuffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			unbufferedParallelFor(items, work)
+		}
+	})
 }
 
 func TestTableIIMatchesPaperBreakpoints(t *testing.T) {

@@ -1,0 +1,133 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+
+	"medcc/internal/cloud"
+	"medcc/internal/dag"
+	"medcc/internal/gen"
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+// campaignScratch is the per-worker state of the parallel campaign loops:
+// a pooled instance generator, matrices rebuilt in place, one reusable
+// scheduler per algorithm name, destination schedule buffers, and a DAG
+// timing that is refreshed instead of rebuilt for every schedule of the
+// current instance. One scratch serves one parallelForWorkers worker, so
+// no locking is needed; allocations fall to near zero once a worker has
+// warmed up on the largest problem size it will see.
+//
+// Determinism is untouched: instances are still seeded per item, and the
+// pooled generator/schedulers are bit-identical to their one-shot forms
+// (pinned by the gen and sched differential tests), so campaign numbers do
+// not depend on which worker processed which item.
+type campaignScratch struct {
+	b        gen.Builder
+	w        *workflow.Workflow
+	m        *workflow.Matrices
+	lc, fast workflow.Schedule
+
+	algs map[string]sched.IntoScheduler
+	dst  map[string]workflow.Schedule
+
+	times []float64
+	t     *dag.Timing
+	tver  uint64 // graph version cs.t was built against
+}
+
+// newScratchPool returns one campaignScratch per fan-out worker for a loop
+// of n items (parallelForWorkers never uses more worker indices than
+// min(GOMAXPROCS, n), and at least index 0).
+func newScratchPool(n int) []campaignScratch {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return make([]campaignScratch, workers)
+}
+
+// instance regenerates instance k of a problem size into the pooled
+// workflow and matrices and returns the budget range [Cmin, Cmax]. The
+// previous instance held by this scratch is overwritten.
+func (cs *campaignScratch) instance(seed int64, k int, size gen.ProblemSize) (cmin, cmax float64, err error) {
+	rng := newRNG(seed, k)
+	w, cat, err := cs.b.Instance(rng, size)
+	if err != nil {
+		return 0, 0, err
+	}
+	cs.w = w
+	cs.m, err = w.BuildMatricesInto(cat, cloud.HourlyRoundUp, cs.m)
+	if err != nil {
+		return 0, 0, err
+	}
+	cs.lc = cs.m.LeastCostInto(w, cs.lc)
+	cs.fast = cs.m.FastestInto(w, cs.fast)
+	return cs.m.Cost(cs.lc), cs.m.Cost(cs.fast), nil
+}
+
+// sched runs the named algorithm at the budget on the current instance and
+// returns the resulting schedule (owned by the scratch, valid until the
+// next sched call for the same name).
+func (cs *campaignScratch) sched(name string, budget float64) (workflow.Schedule, error) {
+	if cs.algs == nil {
+		cs.algs = map[string]sched.IntoScheduler{}
+		cs.dst = map[string]workflow.Schedule{}
+	}
+	alg, ok := cs.algs[name]
+	if !ok {
+		s, err := sched.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		into, isInto := s.(sched.IntoScheduler)
+		if !isInto {
+			return nil, fmt.Errorf("exper: %s does not support pooled scheduling", name)
+		}
+		cs.algs[name] = into
+		alg = into
+	}
+	s, err := alg.ScheduleInto(cs.dst[name], cs.w, cs.m, budget)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	cs.dst[name] = s
+	return s, nil
+}
+
+// med runs the named algorithm and returns the makespan of its schedule.
+func (cs *campaignScratch) med(name string, budget float64) (float64, error) {
+	s, err := cs.sched(name, budget)
+	if err != nil {
+		return 0, err
+	}
+	return cs.makespan(s)
+}
+
+// makespan evaluates a schedule of the current instance with the pooled
+// timing: the first schedule per instance pays one NewTiming (the graph
+// structure changed under the pooled builder, detected via its Version);
+// every further schedule is an in-place Update.
+func (cs *campaignScratch) makespan(s workflow.Schedule) (float64, error) {
+	if err := cs.w.ValidateSchedule(s, len(cs.m.Catalog)); err != nil {
+		return 0, err
+	}
+	cs.times = cs.m.TimesInto(s, cs.times)
+	g := cs.w.Graph()
+	if cs.t == nil || cs.tver != g.Version() {
+		t, err := dag.NewTiming(g, cs.times, nil)
+		if err != nil {
+			return 0, err
+		}
+		cs.t, cs.tver = t, g.Version()
+		return t.Makespan, nil
+	}
+	if err := cs.t.Update(cs.times); err != nil {
+		return 0, err
+	}
+	return cs.t.Makespan, nil
+}

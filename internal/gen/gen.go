@@ -57,84 +57,12 @@ func (p Params) Validate() error {
 // module wi chooses k in [1, m-1-i] and connects to k random
 // higher-numbered modules; finally predecessor-less modules attach to the
 // entry module so the requested |Ew| is met.
+//
+// This is the one-shot form of Builder.Random: it builds into a throwaway
+// Builder, so the caller owns the returned workflow.
 func Random(rng *rand.Rand, p Params) (*workflow.Workflow, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	w := workflow.New()
-	entry := -1
-	if p.AddEntryExit {
-		entry = w.AddModule(workflow.Module{Name: "entry", Fixed: true, FixedTime: 1})
-	}
-	ids := make([]int, p.Modules)
-	for i := range ids {
-		wl := p.WorkloadMin
-		if p.WorkloadMax > p.WorkloadMin {
-			wl += rng.Float64() * (p.WorkloadMax - p.WorkloadMin)
-		}
-		ids[i] = w.AddModule(workflow.Module{Name: fmt.Sprintf("w%d", i+1), Workload: wl})
-	}
-
-	ds := func() float64 {
-		if p.DataSizeMax <= 0 {
-			return 0
-		}
-		return rng.Float64() * p.DataSizeMax
-	}
-
-	// Random forward fan-out, per the paper: "for each module wi, we
-	// randomly choose a number k within the range [1, m-1-i] and then
-	// choose k modules with their module IDs in the range [i+1, m-1] as
-	// its successors", stopping when the edge budget is spent.
-	edges := 0
-	for i := 0; i < p.Modules-1 && edges < p.Edges; i++ {
-		avail := p.Modules - 1 - i
-		k := 1 + rng.Intn(avail)
-		if k > p.Edges-edges {
-			k = p.Edges - edges
-		}
-		perm := rng.Perm(avail)
-		for _, off := range perm[:k] {
-			target := i + 1 + off
-			if err := w.AddDependency(ids[i], ids[target], ds()); err != nil {
-				return nil, err
-			}
-			edges++
-		}
-	}
-	// Top up with uniformly random forward edges if fan-out stopped
-	// short of the requested count.
-	for guard := 0; edges < p.Edges && guard < 100*p.Edges+1000; guard++ {
-		u := rng.Intn(p.Modules - 1)
-		v := u + 1 + rng.Intn(p.Modules-1-u)
-		if w.Graph().HasEdge(ids[u], ids[v]) {
-			continue
-		}
-		if err := w.AddDependency(ids[u], ids[v], ds()); err != nil {
-			return nil, err
-		}
-		edges++
-	}
-
-	if p.AddEntryExit {
-		exit := w.AddModule(workflow.Module{Name: "exit", Fixed: true, FixedTime: 1})
-		for _, id := range ids {
-			if w.Graph().InDegree(id) == 0 {
-				if err := w.AddDependency(entry, id, 0); err != nil {
-					return nil, err
-				}
-			}
-			if w.Graph().OutDegree(id) == 0 {
-				if err := w.AddDependency(id, exit, 0); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	return w, nil
+	var b Builder
+	return b.Random(rng, p)
 }
 
 // Catalog draws an n-type VM catalog with the paper's linear base-unit
@@ -176,16 +104,6 @@ func PaperProblemSizes() []ProblemSize {
 // matching the trade-off the paper measured on its testbed; see
 // cloud.DiminishingCatalog and DESIGN.md §2.
 func Instance(rng *rand.Rand, size ProblemSize) (*workflow.Workflow, cloud.Catalog, error) {
-	w, err := Random(rng, Params{
-		Modules:      size.M,
-		Edges:        size.E,
-		WorkloadMin:  100,
-		WorkloadMax:  1000,
-		DataSizeMax:  10,
-		AddEntryExit: true,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return w, cloud.DiminishingCatalog(size.N, 3, 1, SimulationGamma), nil
+	var b Builder
+	return b.Instance(rng, size)
 }

@@ -131,6 +131,63 @@ func TestRandomDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestBuilderMatchesOneShotBitIdentical drives one pooled Builder across a
+// stream of heterogeneous sizes and checks every rebuilt workflow against a
+// one-shot Instance drawn from an identically-seeded rng: same module
+// records, same edges, same data sizes, same catalog. This pins the
+// Builder to the one-shot random stream — a single extra or reordered draw
+// would desynchronize the rngs and fail on the first field compared.
+func TestBuilderMatchesOneShotBitIdentical(t *testing.T) {
+	var b Builder
+	pooled := rand.New(rand.NewSource(99))
+	oneShot := rand.New(rand.NewSource(99))
+	sizes := []ProblemSize{{5, 6, 3}, {25, 201, 5}, {10, 17, 4}, {50, 503, 7}, {5, 6, 3}, {100, 2344, 9}}
+	for trial, size := range sizes {
+		pw, pcat, err := b.Instance(pooled, size)
+		if err != nil {
+			t.Fatalf("trial %d pooled: %v", trial, err)
+		}
+		ow, ocat, err := Instance(oneShot, size)
+		if err != nil {
+			t.Fatalf("trial %d one-shot: %v", trial, err)
+		}
+		if pw.NumModules() != ow.NumModules() || pw.NumDependencies() != ow.NumDependencies() {
+			t.Fatalf("trial %d: shape (%d,%d) != (%d,%d)", trial,
+				pw.NumModules(), pw.NumDependencies(), ow.NumModules(), ow.NumDependencies())
+		}
+		for i := 0; i < ow.NumModules(); i++ {
+			if pw.Module(i) != ow.Module(i) {
+				t.Fatalf("trial %d module %d: pooled %+v != one-shot %+v",
+					trial, i, pw.Module(i), ow.Module(i))
+			}
+		}
+		og, pg := ow.Graph(), pw.Graph()
+		for u := 0; u < og.NumNodes(); u++ {
+			os, ps := og.Succ(u), pg.Succ(u)
+			if len(os) != len(ps) {
+				t.Fatalf("trial %d node %d: succ count %d != %d", trial, u, len(ps), len(os))
+			}
+			for k, v := range os {
+				if ps[k] != v {
+					t.Fatalf("trial %d node %d succ %d: pooled %d != one-shot %d", trial, u, k, ps[k], v)
+				}
+				if pw.DataSize(u, v) != ow.DataSize(u, v) {
+					t.Fatalf("trial %d edge (%d,%d): data size %v != %v",
+						trial, u, v, pw.DataSize(u, v), ow.DataSize(u, v))
+				}
+			}
+		}
+		if len(pcat) != len(ocat) {
+			t.Fatalf("trial %d: catalog sizes differ", trial)
+		}
+		for j := range ocat {
+			if pcat[j] != ocat[j] {
+				t.Fatalf("trial %d catalog type %d: %+v != %+v", trial, j, pcat[j], ocat[j])
+			}
+		}
+	}
+}
+
 func TestPaperProblemSizes(t *testing.T) {
 	sizes := PaperProblemSizes()
 	if len(sizes) != 20 {

@@ -31,6 +31,11 @@ type IntoScheduler interface {
 type engine struct {
 	w *workflow.Workflow
 	m *workflow.Matrices
+	// wver/mver pin the graph version and matrices epoch the scratch was
+	// built against: pooled builders rebuild workflows and matrices in
+	// place behind unchanged pointers, so pointer equality alone would
+	// let stale timings and module lists leak across instances.
+	wver, mver uint64
 
 	t        *dag.Timing
 	times    []float64
@@ -44,10 +49,12 @@ type engine struct {
 // bind points the engine at a (workflow, matrices) pair, reusing all
 // scratch when the pair is unchanged since the last call.
 func (e *engine) bind(w *workflow.Workflow, m *workflow.Matrices) {
-	if e.w == w && e.m == m && len(e.times) == w.NumModules() {
+	if e.w == w && e.m == m && len(e.times) == w.NumModules() &&
+		e.wver == w.Graph().Version() && e.mver == m.Epoch() {
 		return
 	}
 	e.w, e.m = w, m
+	e.wver, e.mver = w.Graph().Version(), m.Epoch()
 	e.t = nil
 	e.mods = w.Schedulable()
 	e.cand = make([]int, 0, len(e.mods))

@@ -17,6 +17,29 @@ type Optimal struct {
 	// default of 50 million. When exceeded the incumbent (possibly
 	// non-optimal) schedule is returned.
 	MaxNodes int64
+
+	// eng holds the engine scratch shared with the other schedulers:
+	// the incremental timing bound under the DFS invariant "assigned
+	// prefix of cur, fastest types for the unassigned suffix", the
+	// schedulable-module list, and the least-cost schedule buffer.
+	eng engine
+
+	// Per-position search scratch, sized to the schedulable module
+	// count on bind.
+	minCost   []float64 // cheapest cost of position k (budget bound)
+	fastest   []int     // fastest type of position k (makespan bound)
+	suffixMin []float64 // sum of minCost over positions k..end
+
+	cur   workflow.Schedule // partial assignment being explored
+	bestS workflow.Schedule // incumbent (returned schedule)
+
+	// DFS state, reset per Schedule call. Keeping it on the struct lets
+	// the recursion be a plain method instead of a captured closure, so
+	// steady-state calls allocate nothing.
+	budget             float64
+	bestMED, bestCost  float64
+	expanded, expLimit int64
+	numTypes           int
 }
 
 // Name implements Scheduler.
@@ -26,50 +49,70 @@ func (o *Optimal) Name() string { return "optimal" }
 // makespan among all schedules of cost <= budget; ties are broken toward
 // lower cost.
 func (o *Optimal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
-	lc, _, err := checkFeasible(w, m, budget)
-	if err != nil {
+	return o.ScheduleInto(nil, w, m, budget)
+}
+
+// ScheduleInto implements IntoScheduler: the search runs entirely in the
+// engine scratch (incremental timing, reused schedule and bound buffers),
+// so repeated solves of the same instance are allocation-free in steady
+// state, like the greedy and metaheuristic schedulers.
+func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
+	e := &o.eng
+	e.bind(w, m)
+	if err := e.feasible(budget); err != nil {
 		return nil, err
 	}
-	mods := w.Schedulable()
+	lc := e.lc
+	mods := e.mods
 	n := len(m.Catalog)
 
 	// Per-position cheapest remaining cost (budget bound) and fastest
 	// type (makespan bound).
-	minCost := make([]float64, len(mods))
-	fastest := make([]int, len(mods))
+	if len(o.minCost) != len(mods) {
+		o.minCost = make([]float64, len(mods))
+		o.fastest = make([]int, len(mods))
+		o.suffixMin = make([]float64, len(mods)+1)
+	}
 	for k, i := range mods {
-		minCost[k] = math.Inf(1)
+		o.minCost[k] = math.Inf(1)
 		best := 0
 		for j := 0; j < n; j++ {
-			if m.CE[i][j] < minCost[k] {
-				minCost[k] = m.CE[i][j]
+			if m.CE[i][j] < o.minCost[k] {
+				o.minCost[k] = m.CE[i][j]
 			}
 			if m.TE[i][j] < m.TE[i][best] {
 				best = j
 			}
 		}
-		fastest[k] = best
+		o.fastest[k] = best
 	}
-	suffixMin := make([]float64, len(mods)+1)
+	o.suffixMin[len(mods)] = 0
 	for k := len(mods) - 1; k >= 0; k-- {
-		suffixMin[k] = suffixMin[k+1] + minCost[k]
+		o.suffixMin[k] = o.suffixMin[k+1] + o.minCost[k]
 	}
 
-	// Incumbent: the least-cost schedule, always feasible here.
-	bestS := lc.Clone()
-	evBest, err := w.Evaluate(m, bestS, nil)
-	if err != nil {
+	// Incumbent: the least-cost schedule, always feasible here. Its
+	// makespan comes from the engine timing instead of a fresh Evaluate
+	// pass.
+	if len(dst) == len(lc) {
+		o.bestS = dst
+	} else if len(o.bestS) != len(lc) {
+		o.bestS = make(workflow.Schedule, len(lc))
+	}
+	copy(o.bestS, lc)
+	if err := e.resetTiming(lc); err != nil {
 		return nil, err
 	}
-	bestMED, bestCost := evBest.Makespan, evBest.Cost
+	o.bestMED, o.bestCost = e.t.Makespan, m.Cost(lc)
 
-	limit := o.MaxNodes
-	if limit == 0 {
-		limit = 50_000_000
+	o.expLimit = o.MaxNodes
+	if o.expLimit == 0 {
+		o.expLimit = 50_000_000
 	}
-	var expanded int64
+	o.expanded = 0
+	o.budget = budget
+	o.numTypes = n
 
-	cur := lc.Clone()
 	// Incremental makespan lower bound: the timing is maintained under the
 	// invariant "assigned prefix of cur, fastest types for the unassigned
 	// suffix", so t.Makespan is always the bound — and at a leaf it is the
@@ -77,46 +120,51 @@ func (o *Optimal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget fl
 	// node. Each branch assignment re-relaxes one node suffix; the type is
 	// restored to the fastest after the branch loop to keep the invariant
 	// for the parent's remaining siblings.
-	init := cur.Clone()
-	for k, i := range mods {
-		init[i] = fastest[k]
+	if len(o.cur) != len(lc) {
+		o.cur = make(workflow.Schedule, len(lc))
 	}
-	t, err := dag.NewTiming(w.Graph(), m.Times(init), nil)
-	if err != nil {
+	copy(o.cur, lc)
+	for k, i := range mods {
+		o.cur[i] = o.fastest[k]
+	}
+	if err := e.resetTiming(o.cur); err != nil {
 		return nil, err
 	}
 
-	var dfs func(depth int, cost float64)
-	dfs = func(depth int, cost float64) {
-		expanded++
-		if expanded > limit {
-			return
-		}
-		if cost+suffixMin[depth] > budget+costEps {
-			return // cannot finish within budget
-		}
-		if depth == len(mods) {
-			// The suffix is empty: the timing is exactly cur's.
-			if t.Makespan < bestMED-dag.Eps ||
-				(t.Makespan <= bestMED+dag.Eps && cost < bestCost-costEps) {
-				bestMED, bestCost = t.Makespan, cost
-				copy(bestS, cur)
-			}
-			return
-		}
-		if t.Makespan > bestMED+dag.Eps {
-			return // even the all-fastest completion loses
-		}
-		i := mods[depth]
-		for j := 0; j < n; j++ {
-			cur[i] = j
-			t.UpdateNode(i, m.TE[i][j])
-			dfs(depth+1, cost+m.CE[i][j])
-		}
-		t.UpdateNode(i, m.TE[i][fastest[depth]])
+	o.dfs(0, 0)
+	return o.bestS, nil
+}
+
+// dfs explores assignments for positions depth.. with the partial cost of
+// the assigned prefix, updating the incumbent at feasible leaves.
+func (o *Optimal) dfs(depth int, cost float64) {
+	o.expanded++
+	if o.expanded > o.expLimit {
+		return
 	}
-	dfs(0, 0)
-	return bestS, nil
+	if cost+o.suffixMin[depth] > o.budget+costEps {
+		return // cannot finish within budget
+	}
+	e := &o.eng
+	if depth == len(e.mods) {
+		// The suffix is empty: the timing is exactly cur's.
+		if e.t.Makespan < o.bestMED-dag.Eps ||
+			(e.t.Makespan <= o.bestMED+dag.Eps && cost < o.bestCost-costEps) {
+			o.bestMED, o.bestCost = e.t.Makespan, cost
+			copy(o.bestS, o.cur)
+		}
+		return
+	}
+	if e.t.Makespan > o.bestMED+dag.Eps {
+		return // even the all-fastest completion loses
+	}
+	i := e.mods[depth]
+	for j := 0; j < o.numTypes; j++ {
+		o.cur[i] = j
+		e.t.UpdateNode(i, e.m.TE[i][j])
+		o.dfs(depth+1, cost+e.m.CE[i][j])
+	}
+	e.t.UpdateNode(i, e.m.TE[i][o.fastest[depth]])
 }
 
 func init() {

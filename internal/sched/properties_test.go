@@ -165,6 +165,11 @@ func TestBillingPolicyAblation(t *testing.T) {
 	}
 }
 
+// optTestNodeCap bounds the optimal search in cross-instance reuse tests:
+// enough nodes to explore the small trials exhaustively, small enough that
+// the 4^25-space trials return their (identical) incumbents quickly.
+const optTestNodeCap = 200_000
+
 // TestIntoSchedulersReusableAcrossInstances checks the steady-state
 // contract of every IntoScheduler in the registry: one instance, its
 // scratch rebound across a stream of random instances and budgets, must
@@ -180,6 +185,13 @@ func TestIntoSchedulersReusableAcrossInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		if into, ok := sc.(IntoScheduler); ok {
+			// The exhaustive search joins the IntoScheduler registry with
+			// this PR; cap its node budget so the M=25 trials stay quick.
+			// The fresh comparison instances below get the same cap, so
+			// the reused-vs-fresh differential remains exact.
+			if o, isOpt := sc.(*Optimal); isOpt {
+				o.MaxNodes = optTestNodeCap
+			}
 			reused[name] = into
 		}
 	}
@@ -205,6 +217,9 @@ func TestIntoSchedulersReusableAcrossInstances(t *testing.T) {
 			fresh, err := Get(name)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if o, isOpt := fresh.(*Optimal); isOpt {
+				o.MaxNodes = optTestNodeCap
 			}
 			want, err := fresh.Schedule(wf, m, b)
 			if err != nil {

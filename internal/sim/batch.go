@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult summarizes one replayed configuration: the scalar outcomes
+// of the run, without the per-module trace (which lives in the worker's
+// pooled buffers and is recycled between configurations).
+type BatchResult struct {
+	Makespan float64
+	Cost     float64
+	Events   int64
+}
+
+// ValidateBatch replays every configuration and returns one summary per
+// config, in input order. The work is sharded across up to GOMAXPROCS
+// workers, each owning one pooled Replayer, so a campaign replaying
+// thousands of schedules costs a handful of allocations per worker
+// rather than per run — the simulation-side counterpart of the exper
+// package's parallel scheduling campaigns.
+//
+// Configs may freely share workflows, matrices, and schedules: replay
+// only reads them, and each worker keeps its mutable state private.
+// ValidateBatch itself is safe to call from multiple goroutines
+// concurrently. The first error (by config index) is returned, with the
+// index identified; results are undefined in that case.
+func ValidateBatch(cfgs []Config) ([]BatchResult, error) {
+	return ValidateBatchInto(nil, cfgs)
+}
+
+// ValidateBatchInto is ValidateBatch with a reusable destination slice,
+// for callers cycling campaigns through one results buffer.
+func ValidateBatchInto(dst []BatchResult, cfgs []Config) ([]BatchResult, error) {
+	n := len(cfgs)
+	if cap(dst) < n {
+		dst = make([]BatchResult, n)
+	} else {
+		dst = dst[:n]
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	if workers <= 1 {
+		var r Replayer
+		errs[0] = replayRange(&r, cfgs, dst)
+	} else {
+		// Work-stealing by atomic cursor: workers grab the next config
+		// index as they finish, so an expensive instance does not stall a
+		// statically assigned shard.
+		var cursor atomic.Int64
+		cursor.Store(-1)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				var r Replayer
+				for {
+					i := cursor.Add(1)
+					if i >= int64(n) {
+						return
+					}
+					res, err := r.Run(cfgs[i])
+					if err != nil {
+						errs[wk] = fmt.Errorf("sim: config %d: %w", i, err)
+						return
+					}
+					dst[i] = BatchResult{Makespan: res.Makespan, Cost: res.Cost, Events: res.Events}
+				}
+			}(wk)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// replayRange drives one worker's Replayer over all of cfgs sequentially.
+func replayRange(r *Replayer, cfgs []Config, dst []BatchResult) error {
+	for i := range cfgs {
+		res, err := r.Run(cfgs[i])
+		if err != nil {
+			return fmt.Errorf("sim: config %d: %w", i, err)
+		}
+		dst[i] = BatchResult{Makespan: res.Makespan, Cost: res.Cost, Events: res.Events}
+	}
+	return nil
+}

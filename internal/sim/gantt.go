@@ -27,6 +27,7 @@ func (r *Result) RenderGantt(w io.Writer, names []string, width int) error {
 		}
 		return c
 	}
+	row := make([]byte, width)
 	for i, tr := range r.Modules {
 		name := fmt.Sprintf("m%d", i)
 		if i < len(names) && names[i] != "" {
@@ -36,7 +37,6 @@ func (r *Result) RenderGantt(w io.Writer, names []string, width int) error {
 		if tr.VM >= 0 {
 			vm = fmt.Sprintf("vm%d", tr.VM)
 		}
-		row := make([]byte, width)
 		for k := range row {
 			row[k] = ' '
 		}

@@ -1,9 +1,6 @@
 package sim
 
 import (
-	"fmt"
-	"math"
-
 	"medcc/internal/workflow"
 )
 
@@ -63,203 +60,11 @@ type Result struct {
 	Events   int64
 }
 
-// Run simulates the configured execution and returns its trace.
+// Run simulates the configured execution and returns its trace. It is a
+// thin compatibility wrapper dedicating a fresh Replayer to the call, so
+// the returned Result is owned by the caller; replay loops that care
+// about allocation should hold a Replayer (or use ValidateBatch) instead.
 func Run(cfg Config) (*Result, error) {
-	w, m, s := cfg.Workflow, cfg.Matrices, cfg.Schedule
-	if w == nil || m == nil {
-		return nil, fmt.Errorf("sim: nil workflow or matrices")
-	}
-	if err := w.ValidateSchedule(s, len(m.Catalog)); err != nil {
-		return nil, err
-	}
-	if cfg.BootTime < 0 || math.IsNaN(cfg.BootTime) {
-		return nil, fmt.Errorf("sim: invalid boot time %v", cfg.BootTime)
-	}
-	g := w.Graph()
-	n := w.NumModules()
-	times := m.Times(s)
-
-	// vmOf maps module -> VM instance; vmType maps instance -> type.
-	var vmOf []int
-	var vmMods [][]int
-	if cfg.Reuse != nil {
-		vmOf = cfg.Reuse.VMOf
-		vmMods = cfg.Reuse.ModulesOf
-	} else {
-		vmOf = make([]int, n)
-		for i := range vmOf {
-			vmOf[i] = -1
-		}
-		for _, i := range w.Schedulable() {
-			vmOf[i] = len(vmMods)
-			vmMods = append(vmMods, []int{i})
-		}
-	}
-
-	res := &Result{
-		Modules: make([]ModuleTrace, n),
-		VMs:     make([]VMTrace, len(vmMods)),
-	}
-	for i := range res.Modules {
-		res.Modules[i] = ModuleTrace{Ready: -1, Start: -1, Finish: -1, VM: vmOf[i]}
-	}
-	for v := range res.VMs {
-		first := vmMods[v][0]
-		res.VMs[v] = VMTrace{Type: s[first], BootAt: -1, ReadyAt: -1, StoppedAt: -1}
-	}
-
-	var sm Simulation
-	pendingIn := make([]int, n) // unarrived inputs per module
-	for i := 0; i < n; i++ {
-		pendingIn[i] = g.InDegree(i)
-	}
-	vmNext := make([]int, len(vmMods))  // next position in vmMods[v]
-	vmFree := make([]bool, len(vmMods)) // VM idle and booted
-	done := 0
-
-	var onReady func(i int)
-	var tryStart func(v int)
-	var onFinish func(i int)
-
-	// startModule begins execution of module i now.
-	startModule := func(i int) {
-		res.Modules[i].Start = sm.Now()
-		d := times[i]
-		if err := sm.Schedule(d, func() { onFinish(i) }); err != nil {
-			panic(err) // times validated non-negative by matrices
-		}
-	}
-
-	// tryStart dispatches the next planned module on VM v if it is
-	// booted, idle, and that module's inputs have arrived. Reused VMs
-	// run their modules in plan order (EST order), which is compatible
-	// with precedence by construction of the reuse plan.
-	tryStart = func(v int) {
-		if !vmFree[v] || vmNext[v] >= len(vmMods[v]) {
-			return
-		}
-		i := vmMods[v][vmNext[v]]
-		if res.Modules[i].Ready < 0 {
-			return // inputs not yet arrived
-		}
-		vmFree[v] = false
-		vmNext[v]++
-		res.VMs[v].Modules = append(res.VMs[v].Modules, i)
-		startModule(i)
-	}
-
-	// onReady fires when all inputs of module i have arrived.
-	onReady = func(i int) {
-		res.Modules[i].Ready = sm.Now()
-		if w.Module(i).Fixed {
-			// Fixed entry/exit modules run outside any VM.
-			startModule(i)
-			return
-		}
-		v := vmOf[i]
-		if res.VMs[v].BootAt < 0 {
-			// Just-in-time provisioning: first demand boots the VM.
-			res.VMs[v].BootAt = sm.Now()
-			if err := sm.Schedule(cfg.BootTime, func() {
-				res.VMs[v].ReadyAt = sm.Now()
-				vmFree[v] = true
-				tryStart(v)
-			}); err != nil {
-				panic(err) // BootTime validated above
-			}
-			return
-		}
-		tryStart(v)
-	}
-
-	transferTime := func(u, v int) float64 {
-		if cfg.Bandwidth <= 0 {
-			return 0
-		}
-		ds := w.DataSize(u, v)
-		if ds == 0 {
-			return 0
-		}
-		return ds/cfg.Bandwidth + cfg.Delay
-	}
-
-	// Transfer channel manager: zero-duration transfers bypass it;
-	// others occupy one of TransferSlots (unlimited when 0), queueing
-	// FIFO while the storage fabric is saturated.
-	xferBusy := 0
-	var xferQueue []func()
-	var startTransfer func(duration float64, done func())
-	startTransfer = func(duration float64, done func()) {
-		if duration <= 0 || cfg.TransferSlots <= 0 {
-			if err := sm.Schedule(duration, done); err != nil {
-				panic(err) // durations validated non-negative
-			}
-			return
-		}
-		if xferBusy >= cfg.TransferSlots {
-			xferQueue = append(xferQueue, func() { startTransfer(duration, done) })
-			return
-		}
-		xferBusy++
-		if err := sm.Schedule(duration, func() {
-			xferBusy--
-			done()
-			if len(xferQueue) > 0 && xferBusy < cfg.TransferSlots {
-				next := xferQueue[0]
-				xferQueue = xferQueue[1:]
-				next()
-			}
-		}); err != nil {
-			panic(err)
-		}
-	}
-
-	onFinish = func(i int) {
-		res.Modules[i].Finish = sm.Now()
-		if sm.Now() > res.Makespan {
-			res.Makespan = sm.Now()
-		}
-		done++
-		if !w.Module(i).Fixed {
-			v := vmOf[i]
-			vmFree[v] = true
-			if vmNext[v] >= len(vmMods[v]) {
-				// Last planned module done: terminate and bill.
-				res.VMs[v].StoppedAt = sm.Now()
-				occ := sm.Now() - res.VMs[v].BootAt
-				res.VMs[v].Cost = m.Billing.BilledTime(occ) * m.Catalog[res.VMs[v].Type].Rate
-				res.Cost += res.VMs[v].Cost
-			} else {
-				tryStart(v)
-			}
-		}
-		// Output transfers release successors.
-		for _, succ := range g.Succ(i) {
-			succ := succ
-			startTransfer(transferTime(i, succ), func() {
-				pendingIn[succ]--
-				if pendingIn[succ] == 0 {
-					onReady(succ)
-				}
-			})
-		}
-	}
-
-	// Kick off the sources.
-	for i := 0; i < n; i++ {
-		if g.InDegree(i) == 0 {
-			i := i
-			if err := sm.Schedule(0, func() { onReady(i) }); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if _, err := sm.Run(0); err != nil {
-		return nil, err
-	}
-	if done != n {
-		return nil, fmt.Errorf("sim: deadlock — %d of %d modules completed", done, n)
-	}
-	res.Events = sm.Processed()
-	return res, nil
+	var r Replayer
+	return r.Run(cfg)
 }

@@ -3,7 +3,39 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"medcc/internal/workflow"
 )
+
+// defaultPlan builds the dedicated-VM plan used when a Config carries no
+// reuse plan: one VM per schedulable module, in module index order. The
+// per-VM module lists are carved from a single arena instead of one
+// allocation each.
+func defaultPlan(w *workflow.Workflow) (vmOf []int, vmMods [][]int) {
+	n := w.NumModules()
+	vmOf = make([]int, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		if w.Module(i).Fixed {
+			vmOf[i] = -1
+			continue
+		}
+		vmOf[i] = k
+		k++
+	}
+	arena := make([]int, k)
+	vmMods = make([][]int, k)
+	v := 0
+	for i := 0; i < n; i++ {
+		if vmOf[i] < 0 {
+			continue
+		}
+		arena[v] = i
+		vmMods[v] = arena[v : v+1 : v+1]
+		v++
+	}
+	return vmOf, vmMods
+}
 
 // RunTimeShared replays a schedule with CloudSim's *time-shared* cloudlet
 // model: when a reuse plan maps several ready modules onto one VM, they
@@ -31,14 +63,7 @@ func RunTimeShared(cfg Config) (*Result, error) {
 		vmOf = cfg.Reuse.VMOf
 		vmMods = cfg.Reuse.ModulesOf
 	} else {
-		vmOf = make([]int, n)
-		for i := range vmOf {
-			vmOf[i] = -1
-		}
-		for _, i := range w.Schedulable() {
-			vmOf[i] = len(vmMods)
-			vmMods = append(vmMods, []int{i})
-		}
+		vmOf, vmMods = defaultPlan(w)
 	}
 
 	res := &Result{
@@ -90,6 +115,7 @@ func RunTimeShared(cfg Config) (*Result, error) {
 	}
 
 	guard := 0
+	var completed []int
 	for done < n {
 		guard++
 		if guard > 4*n+16 {
@@ -115,7 +141,7 @@ func RunTimeShared(cfg Config) (*Result, error) {
 		}
 		// Advance all work by dt of wall-clock.
 		now += dt
-		var completed []int
+		completed = completed[:0]
 		for v := range running {
 			k := float64(len(running[v]))
 			next := running[v][:0]

@@ -28,7 +28,9 @@ const timeUnitMicros = 1e6
 // ("X") events for executions and boot phases. Load the file in
 // chrome://tracing or https://ui.perfetto.dev to inspect the run.
 func (r *Result) WriteChromeTrace(w io.Writer, names []string) error {
-	var events []chromeEvent
+	// Worst case: one boot event per VM plus an execution and a wait
+	// event per module.
+	events := make([]chromeEvent, 0, len(r.VMs)+2*len(r.Modules))
 	name := func(i int) string {
 		if i < len(names) && names[i] != "" {
 			return names[i]

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"medcc/internal/cloud"
 	"medcc/internal/dag"
@@ -40,6 +41,18 @@ type Workflow struct {
 // New returns an empty workflow.
 func New() *Workflow {
 	return &Workflow{g: dag.New(), data: make(map[[2]int]float64)}
+}
+
+// Reset empties the workflow for rebuilding while keeping all allocated
+// storage (the graph's node and adjacency arrays, the module slice, the
+// data-size map buckets), so a pooled generator cycling Reset/AddModule/
+// AddDependency reaches a steady state with near-zero allocations. The
+// graph's Version changes, which invalidates any scheduler engine or
+// Timing still bound to the old structure.
+func (w *Workflow) Reset() {
+	w.g.Reset()
+	w.mods = w.mods[:0]
+	clear(w.data)
 }
 
 // AddModule appends a module and returns its index.
@@ -156,7 +169,22 @@ type Matrices struct {
 	// pruning (see BuildOptions). Built once by BuildMatrices; nil when
 	// the Matrices were assembled by hand and BuildOptions was not called.
 	opts [][]int
+
+	// epoch distinguishes successive in-place rebuilds of the same
+	// Matrices value (BuildMatricesInto): caches keyed on a *Matrices
+	// pointer compare epochs to detect that the contents changed behind
+	// the same address. Assigned from a process-wide counter, so no two
+	// builds ever share an epoch.
+	epoch uint64
 }
+
+// matricesEpoch is the process-wide build counter backing Matrices.Epoch.
+var matricesEpoch atomic.Uint64
+
+// Epoch identifies this build of the Matrices contents. It changes every
+// time BuildMatrices or BuildMatricesInto (re)fills a Matrices, including
+// rebuilds in place at the same address; hand-assembled Matrices report 0.
+func (m *Matrices) Epoch() uint64 { return m.epoch }
 
 // BuildOptions precomputes, for every module, the list of VM-type indices
 // worth scanning: type j is dropped when an earlier type k <= j is at least
@@ -171,10 +199,19 @@ type Matrices struct {
 // BuildMatrices calls this automatically; call it manually after building
 // Matrices by hand. Not safe for concurrent use with readers.
 func (m *Matrices) BuildOptions() {
-	m.opts = make([][]int, len(m.TE))
+	if cap(m.opts) < len(m.TE) {
+		next := make([][]int, len(m.TE))
+		copy(next, m.opts[:cap(m.opts)])
+		m.opts = next
+	} else {
+		m.opts = m.opts[:len(m.TE)]
+	}
 	for i := range m.TE {
 		n := len(m.TE[i])
-		opts := make([]int, 0, n)
+		opts := m.opts[i][:0]
+		if cap(opts) < n {
+			opts = make([]int, 0, n)
+		}
 		for j := 0; j < n; j++ {
 			dominated := false
 			for _, k := range opts {
@@ -204,6 +241,16 @@ func (m *Matrices) Options(i int) []int {
 // BuildMatrices computes TE and CE for the workflow over the catalog under
 // a billing policy (step executed once, O(m*n), per §V-B).
 func (w *Workflow) BuildMatrices(cat cloud.Catalog, billing cloud.BillingPolicy) (*Matrices, error) {
+	return w.BuildMatricesInto(cat, billing, nil)
+}
+
+// BuildMatricesInto is BuildMatrices with a reusable destination: when dst
+// is non-nil its TE/CE rows, options lists, and row headers are reused
+// wherever the shapes match, so a pooled builder recomputing matrices for
+// a stream of same-sized instances allocates nothing in steady state. The
+// returned Matrices is dst when provided (refilled in place, with a fresh
+// Epoch) and newly allocated otherwise.
+func (w *Workflow) BuildMatricesInto(cat cloud.Catalog, billing cloud.BillingPolicy, dst *Matrices) (*Matrices, error) {
 	if err := cat.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,15 +262,15 @@ func (w *Workflow) BuildMatrices(cat cloud.Catalog, billing cloud.BillingPolicy)
 	}
 	m := len(w.mods)
 	n := len(cat)
-	mt := &Matrices{
-		TE:      make([][]float64, m),
-		CE:      make([][]float64, m),
-		Catalog: cat,
-		Billing: billing,
+	mt := dst
+	if mt == nil {
+		mt = &Matrices{}
 	}
+	mt.Catalog = cat
+	mt.Billing = billing
+	mt.TE = growRows(mt.TE, m, n)
+	mt.CE = growRows(mt.CE, m, n)
 	for i := 0; i < m; i++ {
-		mt.TE[i] = make([]float64, n)
-		mt.CE[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
 			if w.mods[i].Fixed {
 				mt.TE[i][j] = w.mods[i].FixedTime
@@ -235,7 +282,28 @@ func (w *Workflow) BuildMatrices(cat cloud.Catalog, billing cloud.BillingPolicy)
 		}
 	}
 	mt.BuildOptions()
+	mt.epoch = matricesEpoch.Add(1)
 	return mt, nil
+}
+
+// growRows resizes a row-major matrix to m rows of n columns, reusing the
+// outer slice and every row whose capacity suffices.
+func growRows(rows [][]float64, m, n int) [][]float64 {
+	if cap(rows) < m {
+		next := make([][]float64, m)
+		copy(next, rows[:cap(rows)])
+		rows = next
+	} else {
+		rows = rows[:m]
+	}
+	for i := range rows {
+		if cap(rows[i]) < n {
+			rows[i] = make([]float64, n)
+		} else {
+			rows[i] = rows[i][:n]
+		}
+	}
+	return rows
 }
 
 // SetWorkload replaces the workload of module i (used by generators).

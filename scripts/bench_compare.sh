@@ -1,0 +1,59 @@
+#!/bin/sh
+# Compare two benchmark JSON snapshots produced by scripts/bench.sh and
+# fail on ns/op regressions.
+#
+# Usage: scripts/bench_compare.sh [baseline.json] [candidate.json]
+#
+# Environment:
+#   MAX_REGRESSION_PCT  allowed ns/op increase per benchmark (default 25)
+#
+# Every benchmark present in both files is compared; the script exits
+# non-zero when any of them is more than MAX_REGRESSION_PCT percent slower
+# in the candidate. Benchmarks that exist in only one file are ignored, so
+# adding or retiring benchmarks never breaks the check.
+set -eu
+cd "$(dirname "$0")/.."
+BASE="${1:-BENCH_1.json}"
+CAND="${2:-BENCH_2.json}"
+MAX="${MAX_REGRESSION_PCT:-25}"
+
+for f in "$BASE" "$CAND"; do
+	[ -f "$f" ] || { echo "bench_compare: missing $f" >&2; exit 1; }
+done
+
+awk -v base="$BASE" -v cand="$CAND" -v max="$MAX" '
+function parse(file, store,    line, name, ns) {
+	while ((getline line < file) > 0) {
+		if (line !~ /ns_per_op/) continue
+		# Lines look like:
+		#   "BenchmarkName": {"ns_per_op": 123, "allocs_per_op": 4},
+		name = line
+		sub(/^[ \t]*"/, "", name); sub(/".*/, "", name)
+		ns = line
+		sub(/.*"ns_per_op":[ \t]*/, "", ns); sub(/[,}].*/, "", ns)
+		store[name] = ns + 0
+	}
+	close(file)
+}
+BEGIN {
+	parse(base, b)
+	parse(cand, c)
+	n = 0; bad = 0
+	for (name in b) {
+		if (!(name in c)) continue
+		n++
+		delta = (c[name] - b[name]) / b[name] * 100
+		printf "%-34s %12.0f -> %12.0f ns/op  %+7.1f%%\n", name, b[name], c[name], delta
+		if (delta > max + 0) { bad++; worst[bad] = name }
+	}
+	if (n == 0) {
+		print "bench_compare: no common benchmarks between " base " and " cand
+		exit 1
+	}
+	if (bad > 0) {
+		printf "FAIL: %d benchmark(s) regressed more than %s%% ns/op vs %s:\n", bad, max, base
+		for (i = 1; i <= bad; i++) print "  " worst[i]
+		exit 1
+	}
+	printf "OK: no benchmark regressed more than %s%% ns/op (%d compared)\n", max, n
+}'

@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-check experiments experiments-quick fuzz cover clean
+.PHONY: all build vet lint test bench bench-check experiments experiments-quick fuzz cover clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (allocfree, epochguard, scratchescape,
+# floateq, mapiter); see DESIGN.md §8 and `go run ./cmd/medcc-lint -list`.
+lint:
+	$(GO) run ./cmd/medcc-lint
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,94 @@
+// medcc-lint runs the project's static-analysis suite (internal/analysis)
+// over the whole module and reports invariant violations as
+// file:line:col diagnostics, exiting non-zero when any survive
+// suppression. It needs nothing beyond the standard library and the Go
+// toolchain:
+//
+//	medcc-lint              # lint the module containing the cwd
+//	medcc-lint -root DIR    # lint the module rooted at DIR
+//	medcc-lint -analyzers allocfree,floateq
+//	medcc-lint -list        # describe the analyzers
+//
+// See DESIGN.md §8 for what each analyzer enforces and README.md for
+// the annotation conventions (medcc:allocfree, medcc:coldpath,
+// medcc:scratch, medcc:floateq-exact, medcc:lint-ignore).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"medcc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut *os.File) int {
+	fs := flag.NewFlagSet("medcc-lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	root := fs.String("root", "", "module root to lint (default: nearest go.mod above the cwd)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	verbose := fs.Bool("v", false, "report load/run timing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	dir := *root
+	if dir == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+		dir, err = analysis.FindRoot(cwd)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+	}
+
+	start := time.Now()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	mod, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	loaded := time.Now()
+
+	diags := analysis.Run(mod, analyzers)
+	if *verbose {
+		fmt.Fprintf(errOut, "medcc-lint: %d packages loaded in %v, %d analyzers ran in %v\n",
+			len(mod.Packages), loaded.Sub(start).Round(time.Millisecond),
+			len(analyzers), time.Since(loaded).Round(time.Millisecond))
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "medcc-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

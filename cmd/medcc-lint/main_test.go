@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"medcc/internal/analysis"
+)
+
+// capture runs run() with its output streams redirected to temp files
+// and returns the exit code plus both streams' contents.
+func capture(t *testing.T, args []string) (code int, out, errOut string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	errF, err := os.Create(filepath.Join(dir, "err"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errF.Close()
+	code = run(args, outF, errF)
+	outB, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errB, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(outB), string(errB)
+}
+
+func TestRunList(t *testing.T) {
+	code, out, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"allocfree", "epochguard", "scratchescape", "floateq", "mapiter"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	if code, _, _ := capture(t, []string{"-analyzers", "nosuch"}); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	root, err := analysis.FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := capture(t, []string{"-root", root})
+	if code != 0 {
+		t.Fatalf("module lint exited %d:\n%s%s", code, out, errOut)
+	}
+}
+
+// TestRunSeededViolation lints a throwaway module holding one float
+// equality and expects the documented non-zero exit and diagnostic.
+func TestRunSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module seeded\n",
+		"bad.go": "package seeded\n\nfunc eq(a, b float64) bool { return a == b }\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, out, errOut := capture(t, []string{"-root", dir})
+	if code != 1 {
+		t.Fatalf("seeded violation exited %d, want 1:\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "[floateq]") {
+		t.Errorf("diagnostic missing [floateq]:\n%s", out)
+	}
+	if !strings.Contains(errOut, "1 finding(s)") {
+		t.Errorf("summary missing finding count:\n%s", errOut)
+	}
+}

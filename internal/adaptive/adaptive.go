@@ -224,6 +224,7 @@ func (rp *replanner) replanOnce(w *workflow.Workflow, m *workflow.Matrices, s wo
 		best := 0
 		for j := 1; j < len(m.Catalog); j++ {
 			cj, cb := m.CE[i][j], m.CE[i][best]
+			// medcc:lint-ignore floateq — tie-break on identical table cells; both sides read straight from CE.
 			if cj < cb || (cj == cb && m.TE[i][j] < m.TE[i][best]) {
 				best = j
 			}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree enforces the zero-allocation contract of the engine hot
+// paths. Functions whose doc comment carries `// medcc:allocfree` — and
+// every in-module function statically reachable from them — must not
+// contain allocating constructs:
+//
+//   - make / new and map, slice, or address-taken composite literals
+//   - non-self append (self append `x = append(x, ...)` is amortized
+//     growth of pooled scratch and allowed)
+//   - closures, method values, and go statements
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - calls into fmt / errors (exempt inside a return statement: an
+//     error return terminates the hot path, so formatting the error
+//     there costs nothing in steady state)
+//   - arguments boxed into interface parameters
+//
+// The walk does not descend into callees marked `// medcc:coldpath`:
+// those run off the steady-state path by design (bind/rebuild on
+// instance change, grow-to-high-water-mark scratch, constructors) and
+// the marker documents that exemption in place. Calls through func
+// values and interface methods cannot be resolved statically and are
+// not walked (the callee is checked wherever it is declared, if it is
+// reachable from some annotated root).
+type AllocFree struct{}
+
+func (*AllocFree) Name() string { return "allocfree" }
+func (*AllocFree) Doc() string {
+	return "medcc:allocfree functions and their in-module callees must not allocate"
+}
+
+// allocPkgDeny lists packages whose exported functions allocate by
+// design; any call into them from an allocfree path is a finding.
+var allocPkgDeny = map[string]bool{"fmt": true, "errors": true}
+
+func (a *AllocFree) Run(m *Module, report func(Diagnostic)) {
+	type item struct {
+		fn   *types.Func
+		root string
+	}
+	var queue []item
+	seen := map[*types.Func]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !HasMarker(fd.Doc, MarkerAllocFree) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && !seen[fn] {
+					seen[fn] = true
+					queue = append(queue, item{fn, fn.FullName()})
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		fi := m.FuncDecl(it.fn)
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		for _, callee := range a.checkFunc(m, fi, it.root, report) {
+			if !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, item{callee, it.root})
+			}
+		}
+	}
+}
+
+// checkFunc reports allocating constructs in fi's body and returns the
+// in-module callees to walk next.
+func (a *AllocFree) checkFunc(m *Module, fi *FuncInfo, root string, report func(Diagnostic)) []*types.Func {
+	pkg, body := fi.Pkg, fi.Decl.Body
+	info := pkg.Info
+
+	// Prepass: nodes inside return statements (error-exit exemption),
+	// self-append calls, and expressions in call position.
+	inReturn := map[ast.Node]bool{}
+	selfAppend := map[*ast.CallExpr]bool{}
+	callFun := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c != nil {
+					inReturn[c] = true
+				}
+				return true
+			})
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAppend(info, call) && len(call.Args) > 0 {
+					if sameBase(n.Lhs[0], call.Args[0]) {
+						selfAppend[call] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callFun[ast.Unparen(n.Fun)] = true
+		}
+		return true
+	})
+
+	at := func(pos token.Pos, format string, args ...any) {
+		report(Diagnostic{Pos: m.Fset.Position(pos), Message: fmt.Sprintf(format, args...) +
+			" (in allocfree path from " + root + ")"})
+	}
+
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			at(n.Pos(), "go statement spawns a goroutine")
+		case *ast.FuncLit:
+			at(n.Pos(), "func literal allocates a closure")
+			return false // the literal itself is the finding; don't double-report its body
+		case *ast.CompositeLit:
+			typ := info.TypeOf(n)
+			switch typ.Underlying().(type) {
+			case *types.Map:
+				at(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				at(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					at(cl.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				at(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				at(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFun[ast.Expr(n)] {
+				at(n.Pos(), "method value allocates a bound-method closure")
+			}
+		case *ast.CallExpr:
+			a.checkCall(m, pkg, n, inReturn[n], selfAppend[n], at, &callees)
+		}
+		return true
+	})
+	return callees
+}
+
+func (a *AllocFree) checkCall(m *Module, pkg *Package, call *ast.CallExpr, inReturn, selfAppend bool,
+	at func(token.Pos, string, ...any), callees *[]*types.Func) {
+	info := pkg.Info
+
+	// Type conversions: only string<->[]byte/[]rune copy.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			dst, src := tv.Type, info.TypeOf(call.Args[0])
+			if stringBytesConv(dst, src) {
+				at(call.Pos(), "%s conversion copies its operand", types.TypeString(dst, types.RelativeTo(pkg.Types)))
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				at(call.Pos(), "make allocates")
+			case "new":
+				at(call.Pos(), "new allocates")
+			case "append":
+				if !selfAppend {
+					at(call.Pos(), "append result is not reassigned to its operand; growth escapes the pooled buffer")
+				}
+			}
+			return
+		}
+	}
+
+	callee := Callee(pkg, call)
+	if callee != nil {
+		if cp := callee.Pkg(); cp != nil && allocPkgDeny[cp.Path()] && !inReturn {
+			at(call.Pos(), "call to %s allocates", callee.FullName())
+		}
+		if fi := m.FuncDecl(callee); fi != nil && !HasMarker(fi.Decl.Doc, MarkerColdPath) {
+			*callees = append(*callees, callee)
+		}
+	}
+
+	// Interface boxing: a concrete-typed argument passed to an
+	// interface parameter is heap-boxed at the call site.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil || inReturn {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.IsNil() || tv.Value != nil || types.IsInterface(tv.Type) {
+			continue // constants box to static data, not the heap
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+			continue
+		}
+		at(arg.Pos(), "argument boxes %s into interface %s", tv.Type.String(), pt.String())
+	}
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sameBase reports whether dst and src name the same variable-ish
+// expression, treating a reslice of dst (`dst[:0]`, `dst[a:b]`) as dst:
+// `x = append(x, ...)` and `x = append(x[:0], ...)` both recycle x's
+// backing array.
+func sameBase(dst, src ast.Expr) bool {
+	src = ast.Unparen(src)
+	if sl, ok := src.(*ast.SliceExpr); ok {
+		src = sl.X
+	}
+	return types.ExprString(ast.Unparen(dst)) == types.ExprString(ast.Unparen(src))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func stringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

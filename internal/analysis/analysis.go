@@ -1,0 +1,282 @@
+// Package analysis is the project's static-analysis suite: a
+// stdlib-only (go/parser, go/ast, go/types — no x/tools) driver plus
+// five analyzers that machine-check the invariants the timing engine
+// (internal/dag, internal/sched) and the simulator core (internal/sim)
+// were rebuilt around. The invariants are conventions that reviews
+// cannot reliably police — zero-allocation hot paths, version/epoch
+// guarded cached bindings, worker-private pooled scratch, epsilon-safe
+// float comparisons, and deterministic iteration — so each gets an
+// analyzer (see DESIGN.md §8):
+//
+//   - allocfree:     `// medcc:allocfree` functions and their in-module
+//     callees must not contain allocating constructs.
+//   - epochguard:    structs caching *dag.Graph / *workflow.Workflow /
+//     *workflow.Matrices must guard the binding with a version/epoch
+//     field compared via Version() / Epoch().
+//   - scratchescape: `// medcc:scratch` pooled types must not be
+//     captured by go statements or sent on channels.
+//   - floateq:       no ==/!= on float64 time/cost values outside
+//     functions marked `// medcc:floateq-exact`.
+//   - mapiter:       no unsorted map iteration feeding deterministic
+//     outputs.
+//
+// Findings are suppressed line-by-line with
+// `// medcc:lint-ignore <analyzer> — rationale`, either trailing the
+// offending line or on the line above it. cmd/medcc-lint is the CLI
+// front end; TestLintSelf keeps `go test ./...` failing on new
+// violations even where CI is not run.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker run over a loaded module.
+type Analyzer interface {
+	// Name is the analyzer's identifier in diagnostics and in
+	// `medcc:lint-ignore` suppression comments.
+	Name() string
+	// Doc is a one-line description for `medcc-lint -list`.
+	Doc() string
+	// Run inspects the module and reports findings via report. The
+	// driver filters findings to target packages and applies
+	// suppressions; analyzers report everything they see.
+	Run(m *Module, report func(Diagnostic))
+}
+
+// Package is one type-checked package of the module (or a fixture).
+type Package struct {
+	Path  string // import path ("medcc/internal/dag")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the unit of analysis: every loaded package plus the shared
+// FileSet. Targets lists the packages whose files diagnostics are kept
+// for (the whole module under medcc-lint; a single fixture package under
+// the analyzer tests) — analyzers may still traverse the rest, e.g. the
+// allocfree call walk crossing package boundaries.
+type Module struct {
+	Fset     *token.FileSet
+	Packages []*Package // all loaded packages, sorted by path
+	Targets  []*Package
+
+	funcIndex map[*types.Func]*FuncInfo
+}
+
+// FuncInfo ties a function object to its declaration and owning package.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// FuncDecl returns the module declaration of fn, or nil when fn has no
+// body in the loaded set (stdlib, interface methods, func values).
+func (m *Module) FuncDecl(fn *types.Func) *FuncInfo {
+	if m.funcIndex == nil {
+		m.funcIndex = make(map[*types.Func]*FuncInfo)
+		for _, pkg := range m.Packages {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Name == nil {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						m.funcIndex[obj] = &FuncInfo{Decl: fd, Pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	return m.funcIndex[fn]
+}
+
+// isTarget reports whether pos lies in one of the module's target
+// packages.
+func (m *Module) isTarget(pos token.Pos) bool {
+	file := m.Fset.Position(pos).Filename
+	for _, pkg := range m.Targets {
+		for _, f := range pkg.Files {
+			if m.Fset.Position(f.Pos()).Filename == file {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Callee resolves the static callee of call within pkg: a *types.Func
+// for direct calls and method calls, nil for calls of func values,
+// builtins, and type conversions.
+func Callee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Marker annotations are single comment lines of the form
+// `// medcc:<marker>` inside a declaration's doc comment.
+const (
+	MarkerAllocFree   = "medcc:allocfree"     // function must stay allocation-free (walked transitively)
+	MarkerColdPath    = "medcc:coldpath"      // allocates only off the steady state (bind/growth/error); not walked
+	MarkerScratch     = "medcc:scratch"       // pooled scratch type: worker-private, must not escape
+	MarkerFloatExact  = "medcc:floateq-exact" // function compares floats bit-exactly by design
+	markerLintIgnore  = "medcc:lint-ignore"
+	markerWantComment = "want" // fixture expectations, see analysis_test.go
+)
+
+// HasMarker reports whether doc contains the marker annotation on a
+// line of its own (trailing rationale after the marker is allowed).
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* \t"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+var ignoreRe = regexp.MustCompile(`medcc:lint-ignore\s+([a-z,]+)`)
+
+// suppressions maps filename -> line -> set of analyzer names ignored on
+// that line. A `medcc:lint-ignore <analyzer>` comment suppresses both
+// its own line (trailing comments) and the line immediately after it
+// (comment-above style); `<analyzer>` may be a comma-separated list.
+func suppressions(m *Module) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					sub := ignoreRe.FindStringSubmatch(c.Text)
+					if sub == nil {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					byLine := out[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]bool{}
+						out[pos.Filename] = byLine
+					}
+					for _, name := range strings.Split(sub[1], ",") {
+						name = strings.TrimSpace(name)
+						if name == "" {
+							continue
+						}
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							if byLine[line] == nil {
+								byLine[line] = map[string]bool{}
+							}
+							byLine[line][name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the module, drops findings outside
+// the target packages or suppressed by `medcc:lint-ignore` comments,
+// and returns the rest sorted by position.
+func Run(m *Module, analyzers []Analyzer) []Diagnostic {
+	sup := suppressions(m)
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		name := a.Name()
+		a.Run(m, func(d Diagnostic) {
+			d.Analyzer = name
+			if byLine := sup[d.Pos.Filename]; byLine != nil && byLine[d.Pos.Line][name] {
+				return
+			}
+			key := d.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			out = append(out, d)
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []Analyzer {
+	return []Analyzer{
+		&AllocFree{},
+		&EpochGuard{},
+		&ScratchEscape{},
+		&FloatEq{},
+		&MapIter{},
+	}
+}
+
+// ByName selects analyzers from a comma-separated list of names
+// ("allocfree,floateq"); an empty list selects all.
+func ByName(list string) ([]Analyzer, error) {
+	all := All()
+	if strings.TrimSpace(list) == "" {
+		return all, nil
+	}
+	byName := map[string]Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts fixture expectations: a trailing comment of the form
+// `// want "regexp"` on the line a diagnostic must anchor to (see
+// markerWantComment). Multiple wants on one line are allowed.
+var wantRe = regexp.MustCompile(markerWantComment + `\s+"((?:[^"\\]|\\.)*)"`)
+
+type wantDiag struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzer of the same
+// name over it, and requires a 1:1 match between the diagnostics and
+// the fixture's want comments: every diagnostic must satisfy a want on
+// its line, and every want must be consumed.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	root, err := FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := l.LoadFixture(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*wantDiag
+	for _, pkg := range m.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := m.Fset.Position(c.Pos())
+					for _, sub := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(sub[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, sub[1], err)
+						}
+						wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+
+	for _, d := range Run(m, analyzers) {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched, ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestAllocFreeFixture(t *testing.T)     { runFixture(t, "allocfree") }
+func TestEpochGuardFixture(t *testing.T)    { runFixture(t, "epochguard") }
+func TestScratchEscapeFixture(t *testing.T) { runFixture(t, "scratchescape") }
+func TestFloatEqFixture(t *testing.T)       { runFixture(t, "floateq") }
+func TestMapIterFixture(t *testing.T)       { runFixture(t, "mapiter") }
+
+// TestLintSelf runs the full suite over the real module, so
+// `go test ./...` fails on new invariant violations even where CI does
+// not run. Keep it green by fixing the finding or adding a
+// `medcc:lint-ignore <analyzer>` with a rationale (see README.md).
+func TestLintSelf(t *testing.T) {
+	root, err := FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(m, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	two, err := ByName("allocfree, floateq")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) did not fail")
+	}
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochGuard enforces the cached-binding contract introduced with the
+// pooled builders: generators rebuild workflows and matrices in place
+// behind unchanged pointers, so any struct that caches a *dag.Graph,
+// *workflow.Workflow, or *workflow.Matrices in an unexported field must
+// also carry a version/epoch guard field (uint64, name containing "ver"
+// or "epoch") and compare it via dag.Graph.Version() /
+// workflow.Matrices.Epoch() in some method — the way sched.engine.bind
+// and sim.Replayer.bind do. Pointer equality alone lets stale timings
+// and module lists leak across pooled rebuilds.
+//
+// Structs with only exported fields of these types are treated as
+// pass-through configuration/result records (sim.Config,
+// adaptive.Config), not caches, and are exempt; so are types with no
+// methods and the dag/workflow packages themselves, which own the
+// guarded types. Owner structs that build the instance they point to
+// (rather than binding to someone else's) document the exemption with
+// a `medcc:lint-ignore epochguard` comment on the field.
+type EpochGuard struct{}
+
+func (*EpochGuard) Name() string { return "epochguard" }
+func (*EpochGuard) Doc() string {
+	return "structs caching *dag.Graph / *workflow.Workflow / *workflow.Matrices need a Version()/Epoch() guard"
+}
+
+// guardNeeds maps a cached pointer type to the guard method its holder
+// must call. Workflow needs Version because its identity is its graph
+// structure (compared as w.Graph().Version()).
+var guardNeeds = map[string]string{
+	"medcc/internal/dag.Graph":         "Version",
+	"medcc/internal/workflow.Workflow": "Version",
+	"medcc/internal/workflow.Matrices": "Epoch",
+}
+
+// ownerPkgs declare the guarded types; holding them there is ownership,
+// not caching.
+var ownerPkgs = map[string]bool{
+	"medcc/internal/dag":      true,
+	"medcc/internal/workflow": true,
+}
+
+func (g *EpochGuard) Run(m *Module, report func(Diagnostic)) {
+	for _, pkg := range m.Packages {
+		if ownerPkgs[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					g.checkStruct(m, pkg, ts, st, report)
+				}
+			}
+		}
+	}
+}
+
+func (g *EpochGuard) checkStruct(m *Module, pkg *Package, ts *ast.TypeSpec, st *ast.StructType, report func(Diagnostic)) {
+	obj, ok := pkg.Info.Defs[ts.Name]
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.NumMethods() == 0 {
+		return // no methods: plain data, nothing binds through it
+	}
+
+	hasGuardField := false
+	for _, field := range st.Fields.List {
+		t := pkg.Info.TypeOf(field.Type)
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+			for _, name := range field.Names {
+				low := strings.ToLower(name.Name)
+				if strings.Contains(low, "ver") || strings.Contains(low, "epoch") {
+					hasGuardField = true
+				}
+			}
+		}
+	}
+
+	for _, field := range st.Fields.List {
+		need := guardedPtr(pkg.Info.TypeOf(field.Type))
+		if need == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			if ast.IsExported(name.Name) {
+				continue // pass-through config/result field, caller owns freshness
+			}
+			if !hasGuardField {
+				report(Diagnostic{
+					Pos: m.Fset.Position(name.Pos()),
+					Message: fmt.Sprintf("%s.%s caches %s but the struct has no uint64 version/epoch guard field",
+						ts.Name.Name, name.Name, types.TypeString(pkg.Info.TypeOf(field.Type), types.RelativeTo(pkg.Types))),
+				})
+				continue
+			}
+			if !g.callsGuard(m, pkg, named, need) {
+				report(Diagnostic{
+					Pos: m.Fset.Position(name.Pos()),
+					Message: fmt.Sprintf("%s.%s caches %s but no method of %s compares it via %s()",
+						ts.Name.Name, name.Name, types.TypeString(pkg.Info.TypeOf(field.Type), types.RelativeTo(pkg.Types)),
+						ts.Name.Name, need),
+				})
+			}
+		}
+	}
+}
+
+// guardedPtr returns the guard method required for a field of type t,
+// or "" when t is not a guarded pointer type.
+func guardedPtr(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return guardNeeds[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// callsGuard reports whether any method of named (in its own package)
+// calls the guard method (dag.Graph.Version or workflow.Matrices.Epoch).
+func (g *EpochGuard) callsGuard(m *Module, pkg *Package, named *types.Named, guard string) bool {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if recv != types.Type(named) {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := Callee(pkg, call)
+				if callee == nil || callee.Name() != guard || callee.Pkg() == nil {
+					return true
+				}
+				sig := callee.Type().(*types.Signature)
+				if sig.Recv() == nil {
+					return true
+				}
+				rt := sig.Recv().Type()
+				if ptr, ok := rt.(*types.Pointer); ok {
+					rt = ptr.Elem()
+				}
+				if n, ok := rt.(*types.Named); ok {
+					key := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+					if guardNeeds[key] == guard {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags direct ==/!= between float64 (or float32) values.
+// Workflow times and costs are sums of divisions and rate products;
+// equality between two independently computed values is float jitter
+// waiting to happen — the ParetoFront staircase, budget feasibility,
+// and tie-breaking must all go through the epsilon helpers (dag.Eps,
+// sched's costEps) instead.
+//
+// Two kinds of sites are exempt:
+//
+//   - comparisons against a compile-time constant (`x == 0` sentinel
+//     and unset-value checks are exact by construction);
+//   - functions whose doc carries `// medcc:floateq-exact`: the
+//     incremental timing engine's change-propagation cutoffs and the
+//     event-heap comparators compare bit-exactly BY DESIGN (a skipped
+//     node must recompute to the identical bits; a comparator needs a
+//     strict weak order, which epsilon comparison breaks). The marker
+//     documents that intent where it holds.
+type FloatEq struct{}
+
+func (*FloatEq) Name() string { return "floateq" }
+func (*FloatEq) Doc() string {
+	return "no ==/!= on float values outside constants and medcc:floateq-exact functions"
+}
+
+func (fe *FloatEq) Run(m *Module, report func(Diagnostic)) {
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || HasMarker(fd.Doc, MarkerFloatExact) {
+					continue
+				}
+				fe.checkBody(m, pkg, fd.Body, report)
+			}
+		}
+	}
+}
+
+func (fe *FloatEq) checkBody(m *Module, pkg *Package, body *ast.BlockStmt, report func(Diagnostic)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		x, okx := pkg.Info.Types[be.X]
+		y, oky := pkg.Info.Types[be.Y]
+		if !okx || !oky {
+			return true
+		}
+		if !isFloat(x.Type) && !isFloat(y.Type) {
+			return true
+		}
+		if x.Value != nil || y.Value != nil {
+			return true // comparison against a constant: exact by construction
+		}
+		report(Diagnostic{
+			Pos: m.Fset.Position(be.OpPos),
+			Message: fmt.Sprintf("float %s comparison; use an epsilon helper (dag.Eps / costEps), or mark the function %s if bit-exact comparison is intended",
+				be.Op, MarkerFloatExact),
+		})
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

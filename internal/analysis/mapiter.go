@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapIter polices Go's randomized map iteration order in code that
+// feeds deterministic outputs — schedules, simulation traces, and the
+// experiment tables that the differential tests pin bit-for-bit. A
+// plain `range` over a map anywhere in the module is a finding unless
+// it matches one of the two order-independent idioms:
+//
+//   - collect-then-sort: the loop body only appends the key to a
+//     slice, and the same lexical scope later sorts that slice
+//     (exper's sortedKeys helper);
+//   - map-to-map transform: every statement in the body assigns only
+//     into map index expressions, so the result is keyed, not ordered
+//     (exper's Fig9/Fig10 aggregation).
+//
+// Anything else either needs an explicit sort or a
+// `medcc:lint-ignore mapiter` with a rationale for why order cannot
+// reach an output.
+type MapIter struct{}
+
+func (*MapIter) Name() string { return "mapiter" }
+func (*MapIter) Doc() string {
+	return "no unsorted map iteration in code feeding deterministic outputs"
+}
+
+func (mi *MapIter) Run(m *Module, report func(Diagnostic)) {
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				mi.checkScope(m, pkg, fd.Body, report)
+			}
+		}
+	}
+}
+
+// checkScope inspects one lexical scope (a function or closure body).
+// Closures form their own scope: a sort call inside a closure does not
+// sanction a map range outside it, and vice versa.
+func (mi *MapIter) checkScope(m *Module, pkg *Package, body *ast.BlockStmt, report func(Diagnostic)) {
+	var ranges []*ast.RangeStmt
+	var sorted []string // ExprString of slices passed to sort/slices calls in this scope
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			mi.checkScope(m, pkg, n.Body, report)
+			return false
+		case *ast.RangeStmt:
+			if _, ok := pkg.Info.TypeOf(n.X).Underlying().(*types.Map); ok {
+				ranges = append(ranges, n)
+			}
+		case *ast.CallExpr:
+			if arg := sortedArg(pkg, n); arg != "" {
+				sorted = append(sorted, arg)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, rs := range ranges {
+		if mapToMapBody(pkg, rs) {
+			continue
+		}
+		if key := collectKeyTarget(pkg, rs); key != "" {
+			ok := false
+			for _, s := range sorted {
+				if s == key {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				continue
+			}
+		}
+		report(Diagnostic{
+			Pos: m.Fset.Position(rs.Pos()),
+			Message: fmt.Sprintf("iteration order over map %s is nondeterministic; collect and sort the keys, or lint-ignore with a rationale",
+				types.ExprString(rs.X)),
+		})
+	}
+}
+
+// sortedArg returns the ExprString of the slice being sorted when call
+// is a sort.*/slices.Sort* invocation, else "".
+func sortedArg(pkg *Package, call *ast.CallExpr) string {
+	fn := Callee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return ""
+	}
+	return types.ExprString(ast.Unparen(call.Args[0]))
+}
+
+// collectKeyTarget matches the collect-then-sort loop shape
+// `for k := range m { keys = append(keys, k) }` and returns the
+// ExprString of keys, or "".
+func collectKeyTarget(pkg *Package, rs *ast.RangeStmt) string {
+	if rs.Key == nil || rs.Value != nil || len(rs.Body.List) != 1 {
+		return ""
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isAppend(pkg.Info, call) || len(call.Args) != 2 {
+		return ""
+	}
+	if !sameBase(as.Lhs[0], call.Args[0]) {
+		return ""
+	}
+	if types.ExprString(ast.Unparen(call.Args[1])) != types.ExprString(ast.Unparen(rs.Key)) {
+		return ""
+	}
+	return types.ExprString(ast.Unparen(as.Lhs[0]))
+}
+
+// mapToMapBody reports whether every statement of the range body
+// assigns only into map index expressions — a keyed transform whose
+// result cannot observe iteration order.
+func mapToMapBody(pkg *Package, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			if _, ok := pkg.Info.TypeOf(ix.X).Underlying().(*types.Map); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

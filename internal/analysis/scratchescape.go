@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ScratchEscape keeps pooled scratch worker-private. Types whose doc
+// comment carries `// medcc:scratch` (sched.engine, sim.Replayer,
+// gen.Builder, exper.campaignScratch) hold per-worker mutable state
+// with no internal locking; the parallel campaign and batch loops rely
+// on exactly one goroutine touching each instance. The analyzer
+// reports the two ways an instance leaks across that line:
+//
+//   - a `go` statement whose closure captures, or whose call receives,
+//     a value involving a scratch type
+//   - a channel send of a value involving a scratch type
+//
+// "Involving" unwraps pointers, slices, arrays, maps, and channels, so
+// sending a []Replayer or capturing a *campaignScratch both count. The
+// sanctioned fan-out shape — a worker indexes its own element of a
+// scratch pool inside a function that receives only the worker index —
+// stays clean because the goroutine itself never receives or captures
+// scratch.
+type ScratchEscape struct{}
+
+func (*ScratchEscape) Name() string { return "scratchescape" }
+func (*ScratchEscape) Doc() string {
+	return "medcc:scratch pooled types must not be captured by go statements or sent on channels"
+}
+
+func (s *ScratchEscape) Run(m *Module, report func(Diagnostic)) {
+	scratch := map[*types.TypeName]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if HasMarker(ts.Doc, MarkerScratch) || (len(gd.Specs) == 1 && HasMarker(gd.Doc, MarkerScratch)) {
+						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							scratch[tn] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(scratch) == 0 {
+		return
+	}
+
+	involves := func(t types.Type) *types.TypeName {
+		return involvesScratch(t, scratch, map[types.Type]bool{})
+	}
+
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					s.checkGo(m, pkg, n, involves, report)
+				case *ast.SendStmt:
+					if tn := involves(pkg.Info.TypeOf(n.Value)); tn != nil {
+						report(Diagnostic{
+							Pos:     m.Fset.Position(n.Value.Pos()),
+							Message: fmt.Sprintf("scratch type %s sent on a channel; pooled scratch is worker-private", tn.Name()),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (s *ScratchEscape) checkGo(m *Module, pkg *Package, g *ast.GoStmt, involves func(types.Type) *types.TypeName, report func(Diagnostic)) {
+	// Arguments handed to the goroutine.
+	for _, arg := range g.Call.Args {
+		if tn := involves(pkg.Info.TypeOf(arg)); tn != nil {
+			report(Diagnostic{
+				Pos:     m.Fset.Position(arg.Pos()),
+				Message: fmt.Sprintf("scratch type %s passed to a goroutine; pooled scratch is worker-private", tn.Name()),
+			})
+		}
+	}
+	// A goroutine launched as a method call on scratch.
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		if tn := involves(pkg.Info.TypeOf(sel.X)); tn != nil {
+			report(Diagnostic{
+				Pos:     m.Fset.Position(sel.Pos()),
+				Message: fmt.Sprintf("goroutine launched on scratch type %s; pooled scratch is worker-private", tn.Name()),
+			})
+		}
+	}
+	// Free variables captured by a closure body.
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure (or a parameter of it)
+		}
+		if tn := involves(obj.Type()); tn != nil {
+			report(Diagnostic{
+				Pos:     m.Fset.Position(id.Pos()),
+				Message: fmt.Sprintf("scratch type %s captured by goroutine closure; pooled scratch is worker-private", tn.Name()),
+			})
+		}
+		return true
+	})
+}
+
+// involvesScratch walks t looking for a marked named type, unwrapping
+// pointers and container element types.
+func involvesScratch(t types.Type, scratch map[*types.TypeName]bool, seen map[types.Type]bool) *types.TypeName {
+	if t == nil || seen[t] {
+		return nil
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if scratch[named.Obj()] {
+			return named.Obj()
+		}
+		return involvesScratch(named.Underlying(), scratch, seen)
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		return involvesScratch(u.Elem(), scratch, seen)
+	case *types.Slice:
+		return involvesScratch(u.Elem(), scratch, seen)
+	case *types.Array:
+		return involvesScratch(u.Elem(), scratch, seen)
+	case *types.Chan:
+		return involvesScratch(u.Elem(), scratch, seen)
+	case *types.Map:
+		if tn := involvesScratch(u.Key(), scratch, seen); tn != nil {
+			return tn
+		}
+		return involvesScratch(u.Elem(), scratch, seen)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package allocfree is the fixture for the allocfree analyzer: hot is
+// an annotated root exercising every allocating construct, helper shows
+// the transitive walk, grow shows the medcc:coldpath opt-out, errPath
+// the error-return exemption, and notChecked that unannotated,
+// unreachable code is left alone.
+package allocfree
+
+import "fmt"
+
+type buf struct {
+	ints []int
+	s    string
+}
+
+func (b *buf) id() int { return len(b.ints) }
+
+func spin() {}
+
+func sink(v any) { _ = v }
+
+// helper is unannotated but reachable from hot, so the walk checks it.
+func helper(n int) []int {
+	out := []int{n} // want "slice literal allocates"
+	return out
+}
+
+// grow allocates by design and is excluded from the walk.
+//
+// medcc:coldpath
+func grow(n int) []int { return make([]int, n) }
+
+// notChecked is neither annotated nor reachable from a root.
+func notChecked(n int) []int { return make([]int, n) }
+
+// medcc:allocfree
+func hot(b *buf, n int) {
+	m := make([]int, n)   // want "make allocates"
+	m[0] = *new(int)      // want "new allocates"
+	_ = map[int]int{n: n} // want "map literal allocates"
+	q := &buf{}           // want "address-taken composite literal escapes to the heap"
+	q.ints = m
+
+	b.ints = append(b.ints, n)     // self-append: amortized growth, allowed
+	b.ints = append(b.ints[:0], n) // reslice self-append: allowed
+	other := append(b.ints, n)     // want "append result is not reassigned to its operand"
+	_ = other
+
+	f := func() {} // want "func literal allocates a closure"
+	f()
+	h := b.id // want "method value allocates a bound-method closure"
+	_ = h()
+	go spin() // want "go statement spawns a goroutine"
+
+	b.s = b.s + "!"   // want "string concatenation allocates"
+	b.s += "!"        // want "string concatenation allocates"
+	bs := []byte(b.s) // want "byte conversion copies its operand"
+	_ = bs
+
+	_ = fmt.Sprint("x") // want "call to fmt.Sprint allocates"
+	sink(n)             // want "argument boxes int into interface"
+	sink("lit")         // constant: boxes to static data, allowed
+
+	_ = helper(n)
+	_ = grow(n)
+	_ = make([]int, n) // medcc:lint-ignore allocfree — suppression fixture: no finding expected.
+}
+
+// errPath formats its error inside a return statement, which is exempt:
+// the error exit terminates the hot path.
+//
+// medcc:allocfree
+func errPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad %d", n)
+	}
+	return nil
+}

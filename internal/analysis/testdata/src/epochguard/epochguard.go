@@ -1,0 +1,61 @@
+// Package epochguard is the fixture for the epochguard analyzer, run
+// against the real guarded types: unguarded and uncompared are the two
+// finding shapes, guarded is the sanctioned bind pattern, and plain /
+// Config / owner are the three exemptions (no methods, exported field,
+// documented owner).
+package epochguard
+
+import (
+	"medcc/internal/dag"
+	"medcc/internal/workflow"
+)
+
+// unguarded caches a graph with no version field at all.
+type unguarded struct {
+	g *dag.Graph // want "unguarded.g caches .+dag.Graph but the struct has no uint64 version/epoch guard field"
+}
+
+func (u *unguarded) graph() *dag.Graph { return u.g }
+
+// uncompared carries the guard field but never consults Version().
+type uncompared struct {
+	g    *dag.Graph // want "uncompared.g caches .+dag.Graph but no method of uncompared compares it via Version"
+	gver uint64
+}
+
+func (u *uncompared) bind(g *dag.Graph) { u.g, u.gver = g, 0 }
+
+// guarded is the sanctioned shape: an epoch field compared via Epoch()
+// on rebind, the way sched.engine.bind does.
+type guarded struct {
+	m    *workflow.Matrices
+	mver uint64
+}
+
+func (g *guarded) bind(m *workflow.Matrices) {
+	if g.m == m && g.mver == m.Epoch() {
+		return
+	}
+	g.m, g.mver = m, m.Epoch()
+}
+
+// plain has no methods: pass-through data, nothing binds through it.
+type plain struct {
+	g *dag.Graph
+}
+
+// Config only exposes an exported field; the caller owns freshness.
+type Config struct {
+	Workflow *workflow.Workflow
+}
+
+func (c *Config) ok() bool { return c.Workflow != nil }
+
+// owner documents its exemption: it is the producer of the workflow it
+// points to, not a consumer of someone else's.
+type owner struct {
+	// medcc:lint-ignore epochguard — fixture: owner rebuilds w in place, never reads stale state.
+	w *workflow.Workflow
+}
+
+func (o *owner) workflow() *workflow.Workflow { return o.w }

@@ -1,0 +1,42 @@
+// Package floateq is the fixture for the floateq analyzer: bad and
+// alsoBad are the two finding operators, constOK/namedConstOK the
+// constant exemption, cutoff the medcc:floateq-exact opt-out, and
+// suppressed a lint-ignore.
+package floateq
+
+const zero = 0.0
+
+func bad(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+func alsoBad(a, b float32) bool {
+	if a != b { // want "float != comparison"
+		return false
+	}
+	return true
+}
+
+func constOK(a float64) bool {
+	return a == 0 // comparison against a constant: exact by construction
+}
+
+func namedConstOK(a float64) bool {
+	return a != zero
+}
+
+func intsOK(a, b int) bool {
+	return a == b // not a float comparison
+}
+
+// cutoff compares bit-exactly by design, like the timing engine's
+// change-propagation cutoffs.
+//
+// medcc:floateq-exact
+func cutoff(a, b float64) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	return a == b // medcc:lint-ignore floateq — suppression fixture: no finding expected.
+}

@@ -1,0 +1,56 @@
+// Package mapiter is the fixture for the mapiter analyzer: bad and
+// sortInClosure are findings, collectThenSort and mapToMap are the two
+// sanctioned idioms, and maxValue is a lint-ignore with a rationale.
+package mapiter
+
+import "sort"
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "iteration order over map m is nondeterministic"
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom: the body only appends the
+// key, and the same scope sorts the slice.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapToMap assigns only into map index expressions: the result is
+// keyed, not ordered.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// sortInClosure does NOT sanction the outer loop: closures are their
+// own lexical scope, and the sort may never run.
+func sortInClosure(m map[string]int) func() {
+	var keys []string
+	for k := range m { // want "iteration order over map m is nondeterministic"
+		keys = append(keys, k)
+	}
+	return func() { sort.Strings(keys) }
+}
+
+func maxValue(m map[string]int) int {
+	best := 0
+	// medcc:lint-ignore mapiter — max over values is order-independent.
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,47 @@
+// Package scratchescape is the fixture for the scratchescape analyzer:
+// leaks exercises all four escape shapes, fanOut is the sanctioned
+// index-only fan-out, and suppressed shows a lint-ignore.
+package scratchescape
+
+// worker is pooled per-goroutine scratch.
+//
+// medcc:scratch
+type worker struct {
+	buf []int
+}
+
+func (w *worker) run() {}
+
+func consume(w *worker) { w.run() }
+
+func leaks() {
+	var w worker
+	go w.run() // want "goroutine launched on scratch type worker"
+	go func() {
+		w.run() // want "scratch type worker captured by goroutine closure"
+	}()
+	go consume(&w) // want "scratch type worker passed to a goroutine"
+	ch := make(chan *worker)
+	ch <- &w // want "scratch type worker sent on a channel"
+}
+
+// launch receives a plain func(int): nothing scratch-typed crosses the
+// goroutine boundary here.
+func launch(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		go fn(i)
+	}
+}
+
+// fanOut is the sanctioned shape: goroutines receive only their worker
+// index and find their own pool element through the closure handed to
+// launch (a func value, not a scratch value).
+func fanOut() {
+	pool := make([]worker, 4)
+	launch(len(pool), func(k int) { pool[k].run() })
+}
+
+func suppressed() {
+	var w worker
+	go consume(&w) // medcc:lint-ignore scratchescape — suppression fixture: no finding expected.
+}

@@ -123,6 +123,7 @@ func (in *Infrastructure) PathBetween(a, b int) (Path, bool) {
 			if done[i] || bw[i] == 0 {
 				continue
 			}
+			// medcc:lint-ignore floateq — widest-path tie-break; equal bandwidths are exact copies of the same link minimum.
 			if u == -1 || bw[i] > bw[u] || (bw[i] == bw[u] && delay[i] < delay[u]) {
 				u = i
 			}
@@ -141,6 +142,7 @@ func (in *Infrastructure) PathBetween(a, b int) (Path, bool) {
 			}
 			nb := math.Min(bw[u], l.Bandwidth)
 			nd := delay[u] + l.Delay
+			// medcc:lint-ignore floateq — widest-path tie-break; equal bandwidths are exact copies of the same link minimum.
 			if nb > bw[v] || (nb == bw[v] && nd < delay[v]) {
 				bw[v] = nb
 				delay[v] = nd

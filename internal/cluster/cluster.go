@@ -93,8 +93,18 @@ func Horizontal(w *workflow.Workflow, maxGroup int) (*Result, error) {
 		}
 		byLevel[level[i]] = append(byLevel[level[i]], i)
 	}
+	// Levels are visited in sorted order: the groups formed are disjoint
+	// across levels, but aggregate-module numbering downstream follows
+	// union order, so map iteration order must not reach it (found by
+	// mapiter).
+	levels := make([]int, 0, len(byLevel))
+	for lvl := range byLevel {
+		levels = append(levels, lvl)
+	}
+	sort.Ints(levels)
 	parent := newUnionFind(w.NumModules())
-	for _, mods := range byLevel {
+	for _, lvl := range levels {
+		mods := byLevel[lvl]
 		sort.Ints(mods)
 		for start := 0; start < len(mods); start += maxGroup {
 			end := start + maxGroup

@@ -66,6 +66,9 @@ type Timing struct {
 // zero). It returns an error if g is cyclic, if len(nodeW) != g.NumNodes(),
 // or if any weight is negative or non-finite. The Timing aliases nodeW;
 // callers that mutate it must follow up with Update or UpdateNode.
+//
+// medcc:coldpath — construction allocates by design; steady-state refresh
+// goes through Update/UpdateNode.
 func NewTiming(g *Graph, nodeW []float64, edgeW EdgeWeight) (*Timing, error) {
 	n := g.NumNodes()
 	if err := checkWeights(nodeW, n); err != nil {
@@ -118,6 +121,8 @@ func checkWeights(nodeW []float64, n int) error {
 // zero allocations. nodeW is validated like in NewTiming and aliased by the
 // Timing afterwards; passing the slice the Timing already holds (after
 // mutating it) is the intended steady-state use.
+//
+// medcc:allocfree
 func (t *Timing) Update(nodeW []float64) error {
 	if err := checkWeights(nodeW, t.g.NumNodes()); err != nil {
 		return err
@@ -139,6 +144,11 @@ func (t *Timing) Update(nodeW []float64) error {
 // w must be non-negative and finite, as enforced by NewTiming/Update for
 // whole slices; UpdateNode is the per-iteration hot path and does not
 // re-validate.
+//
+// medcc:allocfree
+// medcc:floateq-exact — the no-op check and the makespan-anchor check must
+// be bit-exact: epsilon slop would skip re-relaxations whose exact results
+// differ, breaking the "identical to a fresh pass" contract.
 func (t *Timing) UpdateNode(i int, w float64) {
 	if t.nodeW[i] == w {
 		return
@@ -188,6 +198,9 @@ func (t *Timing) UpdateNode(i int, w float64) {
 // zero-edge-weight case; relaxFwd is its general twin. Only nodes marked
 // dirty in the current epoch are recomputed, and a node's successors are
 // marked only when its EFT actually moved.
+//
+// medcc:floateq-exact — "moved" means bit-exact inequality; skipped nodes
+// must recompute to identical values.
 func (t *Timing) relaxFwdZero(p int) {
 	// Everything is hoisted into locals: the loop stores through slices, so
 	// without locals the compiler reloads each field every iteration.
@@ -215,6 +228,7 @@ func (t *Timing) relaxFwdZero(p int) {
 	}
 }
 
+// medcc:floateq-exact — see relaxFwdZero.
 func (t *Timing) relaxFwd(p int) {
 	ep := t.epoch
 	for _, u := range t.order[p:] {
@@ -242,6 +256,8 @@ func (t *Timing) relaxFwd(p int) {
 // (an LST below it moved); its ancestors are marked in turn only when the
 // recomputed LST differs. Skipped nodes would recompute to bit-identical
 // values.
+//
+// medcc:floateq-exact — see relaxFwdZero.
 func (t *Timing) relaxBwd(hi int) {
 	mk := t.Makespan
 	ep := t.epoch
@@ -371,6 +387,10 @@ func (t *Timing) backward(hi int) {
 // trial-move primitive of the makespan-aware schedulers (GAIN2, LOSS2,
 // DeadlineLoss): one call costs a forward re-relaxation of the topo-order
 // suffix from i instead of a full fresh Timing.
+//
+// medcc:allocfree
+// medcc:floateq-exact — dirty propagation mirrors relaxFwdZero and must use
+// bit-exact comparison for the same reason.
 func (t *Timing) WhatIfMakespan(i int, w float64) float64 {
 	if t.nodeW[i] == w {
 		return t.Makespan

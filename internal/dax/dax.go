@@ -15,6 +15,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 
 	"medcc/internal/workflow"
 )
@@ -155,8 +156,17 @@ func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
 		}
 	}
 	// Attribute file bytes to the producer->consumer pairs; create the
-	// edges too when inference is on.
-	for file, prod := range producerOf {
+	// edges too when inference is on. Files are visited in sorted order:
+	// map iteration order would otherwise leak into both the inferred
+	// edge insertion order and the float accumulation order of bytes on
+	// shared edges (found by mapiter).
+	files := make([]string, 0, len(producerOf))
+	for file := range producerOf {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		prod := producerOf[file]
 		for _, cons := range consumersOf[file] {
 			if cons == prod {
 				continue

@@ -3,6 +3,7 @@ package exper
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"medcc/internal/gen"
@@ -55,9 +56,12 @@ func RuntimeScaling(seed int64, algs []string, reps int) ([]RuntimeRow, error) {
 // RenderRuntime prints the A8 timing table in milliseconds.
 func RenderRuntime(w io.Writer, algs []string, rows []RuntimeRow) error {
 	if len(algs) == 0 && len(rows) > 0 {
+		// Column order must not depend on map iteration order: sort the
+		// algorithm names so repeated renders agree (found by mapiter).
 		for name := range rows[0].Seconds {
 			algs = append(algs, name)
 		}
+		sort.Strings(algs)
 	}
 	tw := newTab(w)
 	fmt.Fprint(tw, "(m, |Ew|, n)")

@@ -23,9 +23,12 @@ import (
 // pooled generator/schedulers are bit-identical to their one-shot forms
 // (pinned by the gen and sched differential tests), so campaign numbers do
 // not depend on which worker processed which item.
+//
+// medcc:scratch
 type campaignScratch struct {
-	b        gen.Builder
-	w        *workflow.Workflow
+	b gen.Builder
+	w *workflow.Workflow
+	// medcc:lint-ignore epochguard — w and m are rebuilt in place for every instance; the only derived state cached across rebuilds is t, guarded by tver below.
 	m        *workflow.Matrices
 	lc, fast workflow.Schedule
 

@@ -22,7 +22,10 @@ import (
 // is valid only until the next Random/Instance call; callers needing a
 // persistent copy must Clone it. Not safe for concurrent use — give each
 // worker its own Builder.
+//
+// medcc:scratch
 type Builder struct {
+	// medcc:lint-ignore epochguard — the Builder is the producer: it rebuilds w in place and bumps its Version for consumers; it never reads stale derived state.
 	w     *workflow.Workflow
 	perm  []int
 	ids   []int

@@ -230,6 +230,7 @@ func SolveGreedy(p *Problem) ([]int, float64, error) {
 		bj := 0
 		for j, it := range cls {
 			if it.Weight < cls[bj].Weight ||
+				// medcc:lint-ignore floateq — tie-break on identical item weights copied from the input classes.
 				(it.Weight == cls[bj].Weight && it.Profit > cls[bj].Profit) {
 				bj = j
 			}
@@ -259,6 +260,7 @@ func SolveGreedy(p *Problem) ([]int, float64, error) {
 				if dw > eps {
 					r = dp / dw
 				}
+				// medcc:lint-ignore floateq — equal-rank detection before the profit tie-break; ratios may be +Inf where epsilon is meaningless.
 				if bi == -1 || r > bestRatio || (r == bestRatio && dp > bestDP) {
 					bi, bj, bestRatio, bestDP = i, j, r, dp
 				}

@@ -65,6 +65,7 @@ func HBMCT(p *Pool, w *workflow.Workflow) (*Result, error) {
 	}
 	prio := append([]int(nil), order...)
 	sort.SliceStable(prio, func(a, b int) bool {
+		// medcc:lint-ignore floateq — comparator needs a strict weak order; exact rank split, then index tie-break.
 		if rank[prio[a]] != rank[prio[b]] {
 			return rank[prio[a]] > rank[prio[b]]
 		}

@@ -65,6 +65,8 @@ func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 // only the affected suffix of the topological order instead of rebuilding
 // the whole forward/backward pass, and the critical-path candidate list is
 // collected into a reused scratch slice.
+//
+// medcc:allocfree
 func (g *Greedy) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
@@ -127,8 +129,15 @@ func (g *Greedy) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *wo
 // far larger.
 const costEps = 1e-9
 
+// sameCost reports whether two spends are equal within costEps. The
+// floateq analyzer mandates this helper over direct == on cost values.
+func sameCost(a, b float64) bool { return math.Abs(a-b) <= costEps }
+
 // better reports whether the candidate (dt, dc) beats the incumbent
 // (bestDT, bestDC) under the configured criterion.
+//
+// medcc:floateq-exact — ratios may be +Inf (free upgrades); exact
+// inequality merely detects distinct ranks before the epsilon tie-breaks.
 func (g *Greedy) better(dt, dc, bestDT, bestDC float64) bool {
 	switch g.Rank {
 	case MaxRatio:

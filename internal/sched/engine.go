@@ -28,6 +28,8 @@ type IntoScheduler interface {
 // A scheduler holding an engine is NOT safe for concurrent use; create one
 // instance per goroutine (the registry constructors always return fresh
 // instances).
+//
+// medcc:scratch
 type engine struct {
 	w *workflow.Workflow
 	m *workflow.Matrices
@@ -48,6 +50,9 @@ type engine struct {
 
 // bind points the engine at a (workflow, matrices) pair, reusing all
 // scratch when the pair is unchanged since the last call.
+//
+// medcc:coldpath — (re)binding allocates the scratch; steady-state calls
+// take the early return.
 func (e *engine) bind(w *workflow.Workflow, m *workflow.Matrices) {
 	if e.w == w && e.m == m && len(e.times) == w.NumModules() &&
 		e.wver == w.Graph().Version() && e.mver == m.Epoch() {

@@ -61,6 +61,9 @@ func (g *GAIN) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 }
 
 // ScheduleInto implements IntoScheduler.
+//
+// medcc:allocfree — holds for the iterative GAIN2/GAIN3 paths; GAIN1's
+// staticOrder is per-call setup and opts out via medcc:coldpath.
 func (g *GAIN) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	switch g.Variant {
 	case 1:
@@ -75,6 +78,9 @@ func (g *GAIN) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *work
 // staticOrder implements GAIN1: one descending-weight pass over upgrades
 // precomputed against the least-cost schedule. The upgrade list itself is
 // per-call setup; the application pass allocates nothing.
+//
+// medcc:coldpath — the precomputed upgrade list and its sort allocate by
+// design; GAIN1 is a baseline, not a steady-state path.
 func (g *GAIN) staticOrder(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
@@ -102,6 +108,7 @@ func (g *GAIN) staticOrder(dst workflow.Schedule, w *workflow.Workflow, m *workf
 	}
 	sort.SliceStable(ups, func(a, b int) bool {
 		ra, rb := ratio(ups[a].dt, ups[a].dc), ratio(ups[b].dt, ups[b].dc)
+		// medcc:lint-ignore floateq — comparator needs a strict weak order; exact rank split, then epsilon-free tie-break.
 		if ra != rb {
 			return ra > rb
 		}
@@ -173,6 +180,7 @@ func (g *GAIN) oncePerTask(dst workflow.Schedule, w *workflow.Workflow, m *workf
 					continue
 				}
 				if bi == -1 || ratio(dt, dc) > ratio(bestDT, bestDC) ||
+					// medcc:lint-ignore floateq — equal-rank detection before the dt tie-break; ratios may be +Inf where epsilon is meaningless.
 					(ratio(dt, dc) == ratio(bestDT, bestDC) && dt > bestDT+dag.Eps) {
 					bi, bj, bestDT, bestDC = i, j, dt, dc
 				}

@@ -38,6 +38,8 @@ func (g *Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 }
 
 // ScheduleInto implements IntoScheduler.
+//
+// medcc:allocfree
 func (g *Gain3WRF) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {

@@ -48,6 +48,9 @@ func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 // ScheduleInto implements IntoScheduler. LOSS2's whole-DAG LossWeights are
 // probed with WhatIfMakespan against a single incremental timing instead of
 // one trial Timing per candidate.
+//
+// medcc:allocfree — holds for the iterative LOSS1/LOSS2 paths; LOSS3's
+// staticPass is per-call setup and opts out via medcc:coldpath.
 func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	e := &l.eng
 	e.bind(w, m)
@@ -113,6 +116,9 @@ func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *work
 // first), one downgrade per task; if the budget still does not hold after
 // the pass, remaining tasks drop to their least-cost types in weight
 // order, which always lands at or below Cmin <= budget.
+//
+// medcc:coldpath — the precomputed downgrade list and its sort allocate by
+// design; LOSS3 is a baseline, not a steady-state path.
 func (l *LOSS) staticPass(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	e := &l.eng
 	s := m.FastestInto(w, dst)
@@ -140,6 +146,7 @@ func (l *LOSS) staticPass(dst workflow.Schedule, w *workflow.Workflow, m *workfl
 		}
 	}
 	sort.SliceStable(downs, func(a, b int) bool {
+		// medcc:lint-ignore floateq — comparator needs a strict weak order; exact rank split, then save tie-break.
 		if downs[a].weight != downs[b].weight {
 			return downs[a].weight < downs[b].weight
 		}

@@ -56,6 +56,8 @@ func (o *Optimal) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget fl
 // engine scratch (incremental timing, reused schedule and bound buffers),
 // so repeated solves of the same instance are allocation-free in steady
 // state, like the greedy and metaheuristic schedulers.
+//
+// medcc:allocfree
 func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	e := &o.eng
 	e.bind(w, m)
@@ -69,9 +71,9 @@ func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *w
 	// Per-position cheapest remaining cost (budget bound) and fastest
 	// type (makespan bound).
 	if len(o.minCost) != len(mods) {
-		o.minCost = make([]float64, len(mods))
-		o.fastest = make([]int, len(mods))
-		o.suffixMin = make([]float64, len(mods)+1)
+		o.minCost = make([]float64, len(mods))     // medcc:lint-ignore allocfree — first-use growth
+		o.fastest = make([]int, len(mods))         // medcc:lint-ignore allocfree — first-use growth
+		o.suffixMin = make([]float64, len(mods)+1) // medcc:lint-ignore allocfree — first-use growth
 	}
 	for k, i := range mods {
 		o.minCost[k] = math.Inf(1)
@@ -97,7 +99,7 @@ func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *w
 	if len(dst) == len(lc) {
 		o.bestS = dst
 	} else if len(o.bestS) != len(lc) {
-		o.bestS = make(workflow.Schedule, len(lc))
+		o.bestS = make(workflow.Schedule, len(lc)) // medcc:lint-ignore allocfree — first-use growth
 	}
 	copy(o.bestS, lc)
 	if err := e.resetTiming(lc); err != nil {
@@ -121,7 +123,7 @@ func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *w
 	// restored to the fastest after the branch loop to keep the invariant
 	// for the parent's remaining siblings.
 	if len(o.cur) != len(lc) {
-		o.cur = make(workflow.Schedule, len(lc))
+		o.cur = make(workflow.Schedule, len(lc)) // medcc:lint-ignore allocfree — first-use growth
 	}
 	copy(o.cur, lc)
 	for k, i := range mods {

@@ -37,6 +37,7 @@ func ParetoFront(s Scheduler, w *workflow.Workflow, m *workflow.Matrices, points
 	// Keep the lower-left staircase: sort by cost, then sweep keeping
 	// strictly improving MED.
 	sort.SliceStable(raw, func(a, b int) bool {
+		// medcc:lint-ignore floateq — comparator needs a strict weak order; epsilon would break transitivity.
 		if raw[a].Cost != raw[b].Cost {
 			return raw[a].Cost < raw[b].Cost
 		}
@@ -46,12 +47,15 @@ func ParetoFront(s Scheduler, w *workflow.Workflow, m *workflow.Matrices, points
 	bestMED := 0.0
 	for _, p := range raw {
 		if len(front) == 0 || p.MED < bestMED-dag.Eps {
-			// Same-cost duplicates collapse to their fastest entry
-			// (the sort put it first).
-			if len(front) > 0 && front[len(front)-1].Cost == p.Cost {
-				continue
+			// Budgets landing on the same spend within float jitter
+			// collapse to their fastest schedule: replacing the
+			// incumbent keeps the staircase strictly improving on both
+			// axes instead of emitting near-duplicate cost entries.
+			if len(front) > 0 && sameCost(front[len(front)-1].Cost, p.Cost) {
+				front[len(front)-1] = p
+			} else {
+				front = append(front, p)
 			}
-			front = append(front, p)
 			bestMED = p.MED
 		}
 	}

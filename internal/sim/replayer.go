@@ -27,6 +27,8 @@ import (
 // need the trace beyond that must copy it (or use the package-level Run,
 // which dedicates a Replayer to the call). A Replayer is not safe for
 // concurrent use; give each goroutine its own (see ValidateBatch).
+//
+// medcc:scratch
 type Replayer struct {
 	// Bound instance key. Versions detect in-place rebuilds of the same
 	// pointers by pooled generators (see dag.Graph.Version).
@@ -56,9 +58,9 @@ type Replayer struct {
 
 	// Transfer slot manager: busy counts in-flight slotted transfers,
 	// queue is a FIFO ring of waiting transfers.
-	xferBusy  int
-	xferQ     []xferItem
-	xferHead  int
+	xferBusy int
+	xferQ    []xferItem
+	xferHead int
 
 	// Per-run config mirror (the fields the event handlers need).
 	vmOf      []int
@@ -103,6 +105,9 @@ type xferItem struct {
 // bind points the replayer at a (workflow, matrices) pair, rebuilding the
 // default VM plan and module-sized state only when the pair (or its
 // contents, per version counters) changed since the last call.
+//
+// medcc:coldpath — (re)binding allocates the plan; steady-state calls take
+// the early return.
 func (r *Replayer) bind(w *workflow.Workflow, m *workflow.Matrices) {
 	if r.w == w && r.m == m &&
 		r.wver == w.Graph().Version() && r.mver == m.Epoch() {
@@ -141,6 +146,8 @@ func (r *Replayer) bind(w *workflow.Workflow, m *workflow.Matrices) {
 // Run replays cfg.Schedule on the bound (or newly bound) instance and
 // returns its trace. The result is reused: it remains valid only until
 // the next Run on this Replayer.
+//
+// medcc:allocfree
 func (r *Replayer) Run(cfg Config) (*Result, error) {
 	w, m, s := cfg.Workflow, cfg.Matrices, cfg.Schedule
 	if w == nil || m == nil {
@@ -189,7 +196,7 @@ func (r *Replayer) Run(cfg Config) (*Result, error) {
 		k := len(r.vmMods[v])
 		res.VMs[v] = VMTrace{
 			Type: s[r.vmMods[v][0]], BootAt: -1, ReadyAt: -1, StoppedAt: -1,
-			Modules: r.vmModsBuf[off:off:off + k],
+			Modules: r.vmModsBuf[off : off : off+k],
 		}
 		off += k
 	}
@@ -279,6 +286,7 @@ func (r *Replayer) Run(cfg Config) (*Result, error) {
 func (r *Replayer) schedule(delay float64, kind evKind, arg int32) {
 	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
 		if r.runErr == nil {
+			// medcc:lint-ignore allocfree — formatting the abort error ends the replay; never reached on valid configs.
 			r.runErr = fmt.Errorf("sim: invalid delay %v", delay)
 		}
 		return
@@ -437,6 +445,8 @@ func (r *Replayer) pop() event2 {
 	return top
 }
 
+// medcc:floateq-exact — heap ordering must match Simulation's (time, seq)
+// tie-break bit for bit; epsilon would reorder simultaneous events.
 func eventLess(a, b event2) bool {
 	if a.time != b.time {
 		return a.time < b.time
@@ -445,7 +455,10 @@ func eventLess(a, b event2) bool {
 }
 
 // --- sized-scratch helpers ---
+//
+// Each grows its slice to the high-water mark once and reslices afterwards.
 
+// medcc:coldpath — first-use growth.
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
@@ -453,6 +466,7 @@ func growInts(s []int, n int) []int {
 	return s[:n]
 }
 
+// medcc:coldpath — first-use growth.
 func growInt32s(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
@@ -460,6 +474,7 @@ func growInt32s(s []int32, n int) []int32 {
 	return s[:n]
 }
 
+// medcc:coldpath — first-use growth.
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -467,6 +482,7 @@ func growFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
+// medcc:coldpath — first-use growth.
 func growBools(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
@@ -474,6 +490,7 @@ func growBools(s []bool, n int) []bool {
 	return s[:n]
 }
 
+// medcc:coldpath — first-use growth.
 func growModuleTraces(s []ModuleTrace, n int) []ModuleTrace {
 	if cap(s) < n {
 		return make([]ModuleTrace, n)
@@ -481,6 +498,7 @@ func growModuleTraces(s []ModuleTrace, n int) []ModuleTrace {
 	return s[:n]
 }
 
+// medcc:coldpath — first-use growth.
 func growVMTraces(s []VMTrace, n int) []VMTrace {
 	if cap(s) < n {
 		return make([]VMTrace, n)

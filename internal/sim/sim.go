@@ -24,6 +24,9 @@ type event struct {
 type eventPQ []*event
 
 func (q eventPQ) Len() int { return len(q) }
+
+// medcc:floateq-exact — (time, seq) ordering must be bit-exact; epsilon
+// would reorder simultaneous events and change traces.
 func (q eventPQ) Less(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"medcc/internal/workflow"
 )
@@ -244,12 +245,21 @@ func build(tasks []unified, opts Options) (*workflow.Workflow, []string, error) 
 			}
 		}
 	}
-	// Data sizes: bytes of files flowing parent -> child.
+	// Data sizes: bytes of files flowing parent -> child, summed in
+	// sorted file order — float addition is order-sensitive, so summing
+	// in map iteration order would make edge weights vary across runs
+	// (found by mapiter).
+	var files []string
 	for _, e := range order {
+		files = files[:0]
+		for f := range tasks[e.p].outputs {
+			files = append(files, f)
+		}
+		sort.Strings(files)
 		bytes := 0.0
-		for f, size := range tasks[e.p].outputs {
+		for _, f := range files {
 			if _, consumed := tasks[e.c].inputs[f]; consumed {
-				bytes += size
+				bytes += tasks[e.p].outputs[f]
 			}
 		}
 		if err := w.AddDependency(e.p, e.c, bytes/opts.DataUnit); err != nil {

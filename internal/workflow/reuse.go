@@ -51,6 +51,7 @@ func (w *Workflow) PlanReuse(s Schedule, t *dag.Timing, policy ReusePolicy) *Reu
 	order := w.Schedulable()
 	sort.SliceStable(order, func(a, b int) bool {
 		ia, ib := order[a], order[b]
+		// medcc:lint-ignore floateq — comparator needs a strict weak order; exact EST split, then index tie-break.
 		if t.EST[ia] != t.EST[ib] {
 			return t.EST[ia] < t.EST[ib]
 		}

@@ -58,6 +58,7 @@ func (m *Matrices) Times(s Schedule) []float64 {
 // allocation-free.
 func (m *Matrices) TimesInto(s Schedule, dst []float64) []float64 {
 	if len(dst) != len(m.TE) {
+		// medcc:lint-ignore allocfree — first-use growth; steady state reuses dst.
 		dst = make([]float64, len(m.TE))
 	}
 	for i, j := range s {
@@ -117,6 +118,7 @@ func (m *Matrices) LeastCost(w *Workflow) Schedule {
 func (m *Matrices) LeastCostInto(w *Workflow, dst Schedule) Schedule {
 	s := dst
 	if len(s) != len(m.TE) {
+		// medcc:lint-ignore allocfree — first-use growth; steady state reuses dst.
 		s = make(Schedule, len(m.TE))
 	}
 	for i := range m.TE {
@@ -130,6 +132,7 @@ func (m *Matrices) LeastCostInto(w *Workflow, dst Schedule) Schedule {
 			switch {
 			case cj < cb:
 				best = j
+			// medcc:lint-ignore floateq — tie-break on identical table cells; both sides read straight from CE.
 			case cj == cb && m.TE[i][j] < m.TE[i][best]:
 				best = j
 			}
@@ -150,6 +153,7 @@ func (m *Matrices) Fastest(w *Workflow) Schedule {
 func (m *Matrices) FastestInto(w *Workflow, dst Schedule) Schedule {
 	s := dst
 	if len(s) != len(m.TE) {
+		// medcc:lint-ignore allocfree — first-use growth; steady state reuses dst.
 		s = make(Schedule, len(m.TE))
 	}
 	for i := range m.TE {
@@ -163,6 +167,7 @@ func (m *Matrices) FastestInto(w *Workflow, dst Schedule) Schedule {
 			switch {
 			case tj < tb:
 				best = j
+			// medcc:lint-ignore floateq — tie-break on identical table cells; both sides read straight from TE.
 			case tj == tb && m.CE[i][j] < m.CE[i][best]:
 				best = j
 			}

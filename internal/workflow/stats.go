@@ -45,6 +45,7 @@ func (w *Workflow) ComputeStats() (Stats, error) {
 			s.Depth = level[u] + 1
 		}
 	}
+	// medcc:lint-ignore mapiter — max over values is order-independent.
 	for _, c := range widthAt {
 		if c > s.Width {
 			s.Width = c

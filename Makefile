@@ -21,16 +21,16 @@ test:
 	$(GO) test ./...
 
 # Full benchmark sweep, 5 repetitions per name, distilled into
-# BENCH_1.json (see scripts/bench.sh for knobs).
+# BENCH_3.json (see scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
 
-# Re-run the sweep into BENCH_2.json and fail when any benchmark present
+# Re-run the sweep into BENCH_3.json and fail when any benchmark present
 # in both snapshots regressed more than 25% in ns/op against the committed
-# BENCH_1.json baseline (threshold: MAX_REGRESSION_PCT).
+# BENCH_2.json baseline (threshold: MAX_REGRESSION_PCT).
 bench-check:
-	scripts/bench.sh BENCH_2.json
-	scripts/bench_compare.sh BENCH_1.json BENCH_2.json
+	scripts/bench.sh BENCH_3.json
+	scripts/bench_compare.sh BENCH_2.json BENCH_3.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -243,6 +243,29 @@ func BenchmarkOptimal8(b *testing.B) {
 	benchScheduler(b, "optimal", gen.ProblemSize{M: 8, E: 18, N: 3})
 }
 
+func BenchmarkOptimal10(b *testing.B) {
+	benchScheduler(b, "optimal", gen.ProblemSize{M: 10, E: 22, N: 3})
+}
+
+// BenchmarkOptimalParallel8 pins the branch-and-bound fan-out at eight
+// workers regardless of GOMAXPROCS, exercising the frontier-split path the
+// auto setting only takes on large machines.
+func BenchmarkOptimalParallel8(b *testing.B) {
+	w, m, budget := benchInstance(b, gen.ProblemSize{M: 8, E: 18, N: 3})
+	alg := &sched.Optimal{Workers: 8}
+	b.ReportAllocs()
+	dst, err := alg.ScheduleInto(nil, w, m, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.ScheduleInto(dst, w, m, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTimingPass100(b *testing.B) {
 	w, m, _ := benchInstance(b, gen.ProblemSize{M: 100, E: 2344, N: 9})
 	s := m.LeastCost(w)

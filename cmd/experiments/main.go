@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		quick  = fs.Bool("quick", false, "reduced instance counts for a fast pass")
 		seed   = fs.Int64("seed", exper.DefaultSeed, "campaign seed")
 		csvDir = fs.String("csvdir", "", "also write fig6/tableIV/campaign/tableVII CSV files into this directory")
+		optExt = fs.Bool("optext", false, "extend the optimality studies (tableIII, fig7) to the larger exact-baseline sizes (m=10..14)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +106,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out)
+		if *optExt {
+			fmt.Fprintln(out, "== Table III (extended): Critical-Greedy vs optimal at m=10..14 ==")
+			rows, err := exper.TableIIIAt(*seed, tabIIIInst, exper.ExtendedOptimalitySizes())
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderTableIII(out, rows); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
 	}
 	if want("fig7") {
 		ran = true
@@ -117,6 +129,21 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out)
+		if *optExt {
+			// The full extended sweep at m=14 multiplies the exact-solver
+			// work by ~3^7 per instance over the paper's largest size, so
+			// the Fig. 7 extension stops at m=12.
+			ext := exper.ExtendedOptimalitySizes()[:2]
+			fmt.Fprintf(out, "== Fig. 7 (extended): %% reaching the optimum at m=10..12 (%d instances/size) ==\n", fig7Inst)
+			rows, err := exper.Fig7At(*seed, fig7Inst, ext)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderFig7(out, rows); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
 	}
 	var tableIV []exper.TableIVRow
 	if want("tableIV") || want("fig8") {

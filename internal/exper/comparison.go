@@ -141,11 +141,11 @@ func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
 		}
 	}
 	cells := make([]CampaignCell, 0, len(sizes)*levels)
+	xs := make([]float64, instances) // one buffer for every (size, level) cell
 	for si := range sizes {
 		for lv := 1; lv <= levels; lv++ {
-			var xs []float64
 			for inst := 0; inst < instances; inst++ {
-				xs = append(xs, results[si*instances+inst].imp[lv-1])
+				xs[inst] = results[si*instances+inst].imp[lv-1]
 			}
 			cells = append(cells, CampaignCell{SizeIdx: si + 1, Level: lv, AvgImp: stats.Mean(xs)})
 		}

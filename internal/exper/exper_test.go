@@ -213,6 +213,35 @@ func TestFig7CGDominatesGain(t *testing.T) {
 	}
 }
 
+func TestExtendedOptimalitySizesSolve(t *testing.T) {
+	// The extended exact-baseline sizes (m=10..14) must solve to proven
+	// optimality — TableIIIAt/Fig7At error on any truncated instance —
+	// and stay sound: no heuristic beats the exact optimum.
+	sizes := ExtendedOptimalitySizes()
+	rows, err := TableIIIAt(DefaultSeed, 2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(sizes) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CG < r.Optimal-1e-9 {
+			t.Fatalf("CG %v beats optimal %v at %v", r.CG, r.Optimal, r.Size)
+		}
+	}
+	f7, err := Fig7At(DefaultSeed, 4, sizes[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f7 {
+		if r.CGPct < 0 || r.CGPct > 100 || r.GainPct < 0 || r.GainPct > 100 ||
+			r.GainWRFPct < 0 || r.GainWRFPct > 100 {
+			t.Fatalf("percentages out of range: %+v", r)
+		}
+	}
+}
+
 func TestTableIVSmallRun(t *testing.T) {
 	rows, err := TableIV(DefaultSeed, 5)
 	if err != nil {

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"medcc/internal/gen"
-	"medcc/internal/sched"
 )
 
 // TableIIIRow compares Critical-Greedy against the exhaustive optimum on
@@ -21,17 +20,37 @@ func TableIIISizes() []gen.ProblemSize {
 	return []gen.ProblemSize{{M: 5, E: 6, N: 3}, {M: 6, E: 11, N: 3}, {M: 7, E: 14, N: 3}}
 }
 
+// ExtendedOptimalitySizes are the larger exact-baseline sizes unlocked by
+// the parallel branch-and-bound solver: still three VM types, but 10 to 14
+// modules, roughly doubling the assignment-space exponent of the paper's
+// largest optimality instance. They back the opt-in extended runs of the
+// optimality studies (cmd/experiments -optext).
+func ExtendedOptimalitySizes() []gen.ProblemSize {
+	return []gen.ProblemSize{{M: 10, E: 22, N: 3}, {M: 12, E: 27, N: 3}, {M: 14, E: 33, N: 3}}
+}
+
 // TableIII regenerates Table III: instancesPerSize random instances per
 // small problem size, each scheduled by CG and by exhaustive search at a
 // random budget within [Cmin, Cmax]. The paper uses 5 instances per size.
 func TableIII(seed int64, instancesPerSize int) ([]TableIIIRow, error) {
-	sizes := TableIIISizes()
+	return TableIIIAt(seed, instancesPerSize, TableIIISizes())
+}
+
+// TableIIIAt is TableIII over caller-chosen problem sizes, so the extended
+// exact-baseline sizes can reuse the same harness. Each campaign worker
+// owns a scratch with a pooled generator, schedulers, and exact solver;
+// the numbers are bit-identical to the one-shot path and independent of
+// the worker count. It errors if the exact solver fails to prove
+// optimality on any instance within its node limit.
+func TableIIIAt(seed int64, instancesPerSize int, sizes []gen.ProblemSize) ([]TableIIIRow, error) {
 	rows := make([]TableIIIRow, len(sizes)*instancesPerSize)
 	errs := make([]error, len(rows))
-	parallelFor(len(rows), func(k int) {
+	pool := newScratchPool(len(rows))
+	parallelForWorkers(len(rows), func(wk, k int) {
+		cs := &pool[wk]
 		size := sizes[k/instancesPerSize]
 		inst := k % instancesPerSize
-		w, m, cmin, cmax, err := buildSmallInstance(seed, k, size)
+		cmin, cmax, err := cs.smallInstance(seed, k, size)
 		if err != nil {
 			errs[k] = err
 			return
@@ -41,17 +60,17 @@ func TableIII(seed int64, instancesPerSize int) ([]TableIIIRow, error) {
 		// the budget with the first module's workload.
 		rng := newRNG(seed+1_000_000_007, k)
 		budget := cmin + rng.Float64()*(cmax-cmin)
-		cg, err := sched.Run(sched.CriticalGreedy(), w, m, budget)
+		cg, err := cs.med("critical-greedy", budget)
 		if err != nil {
 			errs[k] = err
 			return
 		}
-		opt, err := sched.Run(&sched.Optimal{}, w, m, budget)
+		opt, err := cs.optimalMED(budget)
 		if err != nil {
 			errs[k] = err
 			return
 		}
-		rows[k] = TableIIIRow{Size: size, Instance: inst + 1, CG: cg.MED, Optimal: opt.MED}
+		rows[k] = TableIIIRow{Size: size, Instance: inst + 1, CG: cg, Optimal: opt}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -83,39 +102,52 @@ func Fig7Sizes() []gen.ProblemSize {
 // the budget at the median of [Cmin, Cmax]; report how often each
 // heuristic matches the optimal MED. The paper uses 100 instances.
 func Fig7(seed int64, instances int) ([]Fig7Row, error) {
-	sizes := Fig7Sizes()
+	return Fig7At(seed, instances, Fig7Sizes())
+}
+
+// Fig7At is Fig7 over caller-chosen problem sizes (the opt-in extended
+// exact-baseline sizes reuse it). Like TableIIIAt it runs on pooled
+// per-worker scratches and errors if any instance cannot be solved to
+// proven optimality within the exact solver's node limit.
+func Fig7At(seed int64, instances int, sizes []gen.ProblemSize) ([]Fig7Row, error) {
 	rows := make([]Fig7Row, len(sizes))
+	pool := newScratchPool(instances)
+	hits := make([][3]bool, instances)
+	errs := make([]error, instances)
 	for si, size := range sizes {
-		cgHits := make([]bool, instances)
-		gainHits := make([]bool, instances)
-		wrfHits := make([]bool, instances)
-		errs := make([]error, instances)
-		size := size
-		parallelFor(instances, func(k int) {
-			w, m, cmin, cmax, err := buildSmallInstance(seed+int64(si)*7919, k, size)
+		si, size := si, size
+		parallelForWorkers(instances, func(wk, k int) {
+			errs[k] = nil
+			cs := &pool[wk]
+			cmin, cmax, err := cs.smallInstance(seed+int64(si)*7919, k, size)
 			if err != nil {
 				errs[k] = err
 				return
 			}
 			budget := (cmin + cmax) / 2
-			cg, gain, err := runPair(w, m, budget)
+			cg, err := cs.med("critical-greedy", budget)
 			if err != nil {
 				errs[k] = err
 				return
 			}
-			wrf, err := runNamed("gain3-wrf", w, m, budget)
+			gain, err := cs.med("gain3", budget)
 			if err != nil {
 				errs[k] = err
 				return
 			}
-			opt, err := sched.Run(&sched.Optimal{}, w, m, budget)
+			wrf, err := cs.med("gain3-wrf", budget)
 			if err != nil {
 				errs[k] = err
 				return
 			}
-			cgHits[k] = math.Abs(cg-opt.MED) <= 1e-9
-			gainHits[k] = math.Abs(gain-opt.MED) <= 1e-9
-			wrfHits[k] = math.Abs(wrf-opt.MED) <= 1e-9
+			opt, err := cs.optimalMED(budget)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			hits[k][0] = math.Abs(cg-opt) <= 1e-9
+			hits[k][1] = math.Abs(gain-opt) <= 1e-9
+			hits[k][2] = math.Abs(wrf-opt) <= 1e-9
 		})
 		for _, err := range errs {
 			if err != nil {
@@ -124,13 +156,13 @@ func Fig7(seed int64, instances int) ([]Fig7Row, error) {
 		}
 		row := Fig7Row{Size: size, Instances: instances}
 		for k := 0; k < instances; k++ {
-			if cgHits[k] {
+			if hits[k][0] {
 				row.CGPct++
 			}
-			if gainHits[k] {
+			if hits[k][1] {
 				row.GainPct++
 			}
-			if wrfHits[k] {
+			if hits[k][2] {
 				row.GainWRFPct++
 			}
 		}

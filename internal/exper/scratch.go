@@ -38,6 +38,14 @@ type campaignScratch struct {
 	times []float64
 	t     *dag.Timing
 	tver  uint64 // graph version cs.t was built against
+
+	// Optimality-study scratch: the paper's fixed Table I catalog and a
+	// pooled exact solver. The solver keeps Workers at 1 because the
+	// campaign loop already owns one scratch (and one core) per worker;
+	// the branch-and-bound result is identical at any worker count.
+	smallCat cloud.Catalog
+	opt      *sched.Optimal
+	optDst   workflow.Schedule
 }
 
 // newScratchPool returns one campaignScratch per fan-out worker for a loop
@@ -71,6 +79,59 @@ func (cs *campaignScratch) instance(seed int64, k int, size gen.ProblemSize) (cm
 	cs.lc = cs.m.LeastCostInto(w, cs.lc)
 	cs.fast = cs.m.FastestInto(w, cs.fast)
 	return cs.m.Cost(cs.lc), cs.m.Cost(cs.fast), nil
+}
+
+// smallInstance is instance for the small-scale optimality studies
+// (Table III, Fig. 7): the same generator parameters as buildSmallInstance
+// — workloads in the §V-B example range and the paper's own Table I
+// catalog — drawn from the same per-item RNG stream, so the instances are
+// bit-identical to the one-shot path, but regenerated into the pooled
+// workflow and matrices.
+func (cs *campaignScratch) smallInstance(seed int64, k int, size gen.ProblemSize) (cmin, cmax float64, err error) {
+	rng := newRNG(seed, k)
+	w, err := cs.b.Random(rng, gen.Params{
+		Modules:      size.M,
+		Edges:        size.E,
+		WorkloadMin:  10,
+		WorkloadMax:  100,
+		DataSizeMax:  10,
+		AddEntryExit: true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	cs.w = w
+	if cs.smallCat == nil {
+		cs.smallCat = cloud.PaperExampleCatalog()
+	}
+	cs.m, err = w.BuildMatricesInto(cs.smallCat, cloud.HourlyRoundUp, cs.m)
+	if err != nil {
+		return 0, 0, err
+	}
+	cs.lc = cs.m.LeastCostInto(w, cs.lc)
+	cs.fast = cs.m.FastestInto(w, cs.fast)
+	return cs.m.Cost(cs.lc), cs.m.Cost(cs.fast), nil
+}
+
+// optimalMED solves the current instance exactly with the pooled
+// branch-and-bound solver and returns the optimal MED. It errors if the
+// solver hit its node limit: a truncated incumbent is not a proven
+// optimum, and silently comparing heuristics against it would corrupt the
+// optimality studies.
+func (cs *campaignScratch) optimalMED(budget float64) (float64, error) {
+	if cs.opt == nil {
+		cs.opt = &sched.Optimal{Workers: 1}
+	}
+	s, err := cs.opt.ScheduleInto(cs.optDst, cs.w, cs.m, budget)
+	if err != nil {
+		return 0, fmt.Errorf("optimal: %w", err)
+	}
+	cs.optDst = s
+	if cs.opt.Truncated {
+		return 0, fmt.Errorf("optimal: node limit reached after %d nodes (m=%d): incumbent not proven optimal",
+			cs.opt.Expanded, cs.w.NumModules())
+	}
+	return cs.makespan(s)
 }
 
 // sched runs the named algorithm at the budget on the current instance and

@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"medcc/internal/cloud"
+	"medcc/internal/gen"
+	"medcc/internal/workflow"
+)
+
+// TestOptimalParallelMatchesSequential is the determinism contract of the
+// branch-and-bound fan-out: at every worker count the solver must return
+// the same schedule, element for element, as the sequential DFS — not just
+// the same makespan. It covers the Table III and Fig. 7 sizes plus the
+// first extended size, five budget levels each, and is meant to run under
+// -race (the CI race job executes this package).
+func TestOptimalParallelMatchesSequential(t *testing.T) {
+	sizes := []gen.ProblemSize{
+		{M: 5, E: 6, N: 3}, {M: 6, E: 11, N: 3}, {M: 7, E: 14, N: 3},
+		{M: 8, E: 18, N: 3}, {M: 10, E: 22, N: 3},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range sizes {
+		wf, cat, err := gen.Instance(rng, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmin, cmax := m.BudgetRange(wf)
+		seq := &Optimal{Workers: 1}
+		for lv := 1; lv <= 5; lv++ {
+			b := cmin + float64(lv)/6*(cmax-cmin)
+			want, err := Run(seq, wf, m, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Truncated {
+				t.Fatalf("size %v level %d: sequential solve truncated", size, lv)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				got, err := Run(&Optimal{Workers: workers}, wf, m, b)
+				if err != nil {
+					t.Fatalf("size %v level %d workers %d: %v", size, lv, workers, err)
+				}
+				if got.MED != want.MED || got.Cost != want.Cost {
+					t.Fatalf("size %v level %d workers %d: (MED, cost) = (%v, %v), sequential (%v, %v)",
+						size, lv, workers, got.MED, got.Cost, want.MED, want.Cost)
+				}
+				for i := range want.Schedule {
+					if got.Schedule[i] != want.Schedule[i] {
+						t.Fatalf("size %v level %d workers %d: schedule[%d] = %d, sequential %d",
+							size, lv, workers, i, got.Schedule[i], want.Schedule[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalPooledResolveIsStable re-solves the same instance with the
+// same pooled solver: the steady-state scratch path (bound tables, worker
+// slots, timings all reused) must reproduce the cold result exactly.
+func TestOptimalPooledResolveIsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 8, E: 18, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmin, cmax := m.BudgetRange(wf)
+	b := (cmin + cmax) / 2
+	for _, workers := range []int{1, 4} {
+		o := &Optimal{Workers: workers}
+		first, err := o.Schedule(wf, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := append(workflow.Schedule(nil), first...)
+		for rep := 0; rep < 3; rep++ {
+			again, err := o.Schedule(wf, m, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cold {
+				if again[i] != cold[i] {
+					t.Fatalf("workers %d repeat %d: schedule[%d] = %d, first solve %d",
+						workers, rep, i, again[i], cold[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalTruncationReporting pins the Truncated/Expanded contract: a
+// starved node budget must set the flag (and propagate it through
+// sched.Run), a defaulted one must clear it and report the node count.
+func TestOptimalTruncationReporting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 8, E: 18, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmin, cmax := m.BudgetRange(wf)
+	b := (cmin + cmax) / 2
+
+	starved := &Optimal{MaxNodes: 10}
+	res, err := Run(starved, wf, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !starved.WasTruncated() {
+		t.Fatalf("MaxNodes=10: Truncated = %v, WasTruncated = %v, want true, true",
+			res.Truncated, starved.WasTruncated())
+	}
+
+	full := &Optimal{}
+	res, err = Run(full, wf, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || full.WasTruncated() {
+		t.Fatal("default node limit reported truncation on an m=8 instance")
+	}
+	if full.Expanded <= 0 {
+		t.Fatalf("Expanded = %d after a completed solve", full.Expanded)
+	}
+}
+
+// TestOptimalDominancePruningKeepsOptimum feeds the solver a catalog full
+// of dominated and exactly-tied types — strictly worse (slower and at
+// least as expensive), strictly redundant (identical power and rate), and
+// merely overpriced — and checks against the unpruned brute-force oracle
+// that dropping them never drops the optimum.
+func TestOptimalDominancePruningKeepsOptimum(t *testing.T) {
+	cat := cloud.Catalog{
+		{Name: "slow", Power: 3, Rate: 1},
+		{Name: "slow-overpriced", Power: 3, Rate: 5}, // dominated by slow
+		{Name: "mid", Power: 15, Rate: 4},
+		{Name: "mid-twin", Power: 15, Rate: 4}, // exact tie with mid
+		{Name: "fast", Power: 30, Rate: 8},
+		{Name: "slowest-priciest", Power: 2, Rate: 9}, // dominated by all
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		wf, err := gen.Random(rng, gen.Params{
+			Modules: 5, Edges: 6, WorkloadMin: 10, WorkloadMax: 100,
+			DataSizeMax: 10, AddEntryExit: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmin, cmax := m.BudgetRange(wf)
+		for lv := 1; lv <= 3; lv++ {
+			b := cmin + float64(lv)/4*(cmax-cmin)
+			res, err := Run(&Optimal{}, wf, m, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMED, wantCost := bruteForce(t, wf, m, b)
+			if math.Abs(res.MED-wantMED) > 1e-9 {
+				t.Fatalf("trial %d B=%v: optimal MED %v, brute force %v", trial, b, res.MED, wantMED)
+			}
+			if math.Abs(res.Cost-wantCost) > 1e-9 {
+				t.Fatalf("trial %d B=%v: optimal cost %v, brute force %v", trial, b, res.Cost, wantCost)
+			}
+		}
+	}
+}
+
+// TestOptimalProvesM10UnderDefaultLimit pins the acceptance bar for the
+// extended optimality studies: m=10 instances must solve to proven
+// optimality (no truncation) under the default node limit, with plenty of
+// headroom.
+func TestOptimalProvesM10UnderDefaultLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5; trial++ {
+		wf, cat, err := gen.Instance(rng, gen.ProblemSize{M: 10, E: 22, N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := wf.BuildMatrices(cat, cloud.HourlyRoundUp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmin, cmax := m.BudgetRange(wf)
+		for lv := 1; lv <= 3; lv++ {
+			o := &Optimal{}
+			if _, err := Run(o, wf, m, cmin+float64(lv)/4*(cmax-cmin)); err != nil {
+				t.Fatal(err)
+			}
+			if o.Truncated {
+				t.Fatalf("trial %d level %d: m=10 solve truncated at default node limit", trial, lv)
+			}
+			if o.Expanded >= defaultMaxNodes/100 {
+				t.Fatalf("trial %d level %d: %d nodes leaves too little headroom", trial, lv, o.Expanded)
+			}
+		}
+	}
+}

@@ -155,8 +155,11 @@ func TestOptimalMaxNodesGuardStillFeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 	// With a starved node budget the search returns the incumbent
-	// (least-cost) schedule, which is still budget-feasible.
+	// (Critical-Greedy seed) schedule, which is still budget-feasible.
 	if res.Cost > b+1e-9 {
 		t.Fatalf("guarded optimal overspent: %v > %v", res.Cost, b)
+	}
+	if !res.Truncated {
+		t.Fatal("starved search did not report truncation")
 	}
 }

@@ -35,6 +35,18 @@ type Result struct {
 	Schedule workflow.Schedule
 	MED      float64
 	Cost     float64
+
+	// Truncated is set when the scheduler reports (via TruncationReporter)
+	// that it stopped early — e.g. the exact solver hit its node limit —
+	// so Schedule is feasible but not proven optimal.
+	Truncated bool
+}
+
+// TruncationReporter is implemented by schedulers that can stop a solve
+// early under a work limit and return a feasible but unproven incumbent.
+// WasTruncated reports whether the most recent Schedule call did so.
+type TruncationReporter interface {
+	WasTruncated() bool
 }
 
 // Run schedules and evaluates in one step.
@@ -47,7 +59,11 @@ func Run(s Scheduler, w *workflow.Workflow, m *workflow.Matrices, budget float64
 	if err != nil {
 		return nil, fmt.Errorf("sched: %s produced invalid schedule: %w", s.Name(), err)
 	}
-	return &Result{Schedule: sch, MED: ev.Makespan, Cost: ev.Cost}, nil
+	r := &Result{Schedule: sch, MED: ev.Makespan, Cost: ev.Cost}
+	if tr, ok := s.(TruncationReporter); ok {
+		r.Truncated = tr.WasTruncated()
+	}
+	return r, nil
 }
 
 // Improvement returns the paper's MED improvement percentage of alg over

@@ -21,16 +21,18 @@ test:
 	$(GO) test ./...
 
 # Full benchmark sweep, 5 repetitions per name, distilled into
-# BENCH_3.json (see scripts/bench.sh for knobs).
+# BENCH_4.json (see scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
 
-# Re-run the sweep into BENCH_3.json and fail when any benchmark present
-# in both snapshots regressed more than 25% in ns/op against the committed
-# BENCH_2.json baseline (threshold: MAX_REGRESSION_PCT).
+# Run a fresh sweep into an uncommitted candidate snapshot and fail when
+# any benchmark present in both regressed against the committed
+# BENCH_4.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
+# any allocs/op increase (MAX_ALLOC_DELTA, default 0). Re-record the
+# baseline with `make bench` when a change is intentional.
 bench-check:
-	scripts/bench.sh BENCH_3.json
-	scripts/bench_compare.sh BENCH_2.json BENCH_3.json
+	scripts/bench.sh .bench.candidate.json
+	scripts/bench_compare.sh BENCH_4.json .bench.candidate.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:
@@ -50,3 +52,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
+	rm -f .bench.candidate.json

@@ -231,8 +231,16 @@ func BenchmarkCriticalGreedy500(b *testing.B) {
 	benchScheduler(b, "critical-greedy", gen.ProblemSize{M: 500, E: 58600, N: 9})
 }
 
+func BenchmarkCriticalGreedy2000(b *testing.B) {
+	benchScheduler(b, "critical-greedy", gen.ProblemSize{M: 2000, E: 120000, N: 9})
+}
+
 func BenchmarkGAIN3_100(b *testing.B) {
 	benchScheduler(b, "gain3", gen.ProblemSize{M: 100, E: 2344, N: 9})
+}
+
+func BenchmarkGAIN3_500(b *testing.B) {
+	benchScheduler(b, "gain3", gen.ProblemSize{M: 500, E: 58600, N: 9})
 }
 
 func BenchmarkGain3WRF100(b *testing.B) {

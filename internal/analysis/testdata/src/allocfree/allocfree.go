@@ -75,3 +75,35 @@ func errPath(n int) error {
 	}
 	return nil
 }
+
+// candHeap mirrors the sched candidate heap: pooled entries plus flat
+// per-module key columns, mutated in place on the hot path.
+type candHeap struct {
+	entries []ent
+	keys    []float64
+}
+
+type ent struct {
+	key float64
+	mod int32
+}
+
+// push is the correct steady-state shape — self-append into the pooled
+// backing arrays — so the only finding below is the seeded violation in
+// pushFresh.
+//
+// medcc:allocfree
+func (h *candHeap) push(k float64, mod int32) {
+	h.entries = append(h.entries, ent{key: k, mod: mod})
+	h.keys = append(h.keys, k)
+}
+
+// pushFresh seeds the classic heap-maintenance mistake: rebuilding the
+// entry slice per push instead of recycling the pooled one.
+//
+// medcc:allocfree
+func (h *candHeap) pushFresh(k float64, mod int32) {
+	fresh := append(h.entries[:0:0], ent{key: k, mod: mod}) // want "append result is not reassigned to its operand"
+	h.entries = fresh
+	h.keys = make([]float64, len(fresh)) // want "make allocates"
+}

@@ -45,3 +45,23 @@ func suppressed() {
 	var w worker
 	go consume(&w) // medcc:lint-ignore scratchescape — suppression fixture: no finding expected.
 }
+
+// candHeap mirrors the sched candidate heap: per-engine pooled state
+// whose lazy-deletion entries are only valid against the engine that
+// built them, so sharing it across goroutines corrupts the heap order.
+//
+// medcc:scratch
+type candHeap struct {
+	keys []float64
+}
+
+func (h *candHeap) drain() {}
+
+// shareHeap seeds the violation: handing the pooled heap to a sibling
+// goroutine.
+func shareHeap() {
+	var h candHeap
+	go h.drain() // want "goroutine launched on scratch type candHeap"
+	ch := make(chan *candHeap)
+	ch <- &h // want "scratch type candHeap sent on a channel"
+}

@@ -89,7 +89,7 @@ func FuzzIncrementalTiming(f *testing.F) {
 			}
 			for i := 0; i < n; i++ {
 				if inc.EST[i] != fresh.EST[i] || inc.EFT[i] != fresh.EFT[i] ||
-					inc.LST[i] != fresh.LST[i] || inc.LFT[i] != fresh.LFT[i] {
+					inc.Tail[i] != fresh.Tail[i] {
 					t.Fatalf("mutation %d node %d: incremental state diverged from fresh", k, i)
 				}
 			}

@@ -40,10 +40,15 @@ func requireTimingsEqual(t *testing.T, got, want *Timing, ctx string) {
 	}
 	for i := range want.EST {
 		if got.EST[i] != want.EST[i] || got.EFT[i] != want.EFT[i] ||
-			got.LST[i] != want.LST[i] || got.LFT[i] != want.LFT[i] {
-			t.Fatalf("%s: node %d EST/EFT/LST/LFT = %v/%v/%v/%v, want %v/%v/%v/%v",
-				ctx, i, got.EST[i], got.EFT[i], got.LST[i], got.LFT[i],
-				want.EST[i], want.EFT[i], want.LST[i], want.LFT[i])
+			got.Tail[i] != want.Tail[i] {
+			t.Fatalf("%s: node %d EST/EFT/Tail = %v/%v/%v, want %v/%v/%v",
+				ctx, i, got.EST[i], got.EFT[i], got.Tail[i],
+				want.EST[i], want.EFT[i], want.Tail[i])
+		}
+		if got.LST(i) != want.LST(i) || got.LFT(i) != want.LFT(i) || got.Slack(i) != want.Slack(i) {
+			t.Fatalf("%s: node %d derived LST/LFT/Slack = %v/%v/%v, want %v/%v/%v",
+				ctx, i, got.LST(i), got.LFT(i), got.Slack(i),
+				want.LST(i), want.LFT(i), want.Slack(i))
 		}
 	}
 }
@@ -78,6 +83,67 @@ func TestUpdateNodeMatchesFreshTiming(t *testing.T) {
 				t.Fatal(err)
 			}
 			requireTimingsEqual(t, inc, fresh, "UpdateNode")
+		}
+	}
+}
+
+// TestUpdateNodeTrackedReportsChanges pins the changed-set contract that
+// incremental candidate maintenance in the scheduler engine relies on:
+// every node whose EFT or Tail moved appears in the changed set, mkChanged
+// reports exactly whether the makespan moved, and — the consequence the
+// engine actually uses — when the makespan is unchanged, a node whose
+// criticality flipped is always in the changed set.
+func TestUpdateNodeTrackedReportsChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []int32
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomProbDAG(rng, n, 0.25)
+		weights := randomWeights(rng, n)
+		inc, err := NewTiming(g, weights, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevEFT := append([]float64(nil), inc.EFT...)
+		prevTail := append([]float64(nil), inc.Tail...)
+		prevCrit := make([]bool, n)
+		for mut := 0; mut < 40; mut++ {
+			copy(prevEFT, inc.EFT)
+			copy(prevTail, inc.Tail)
+			prevMk := inc.Makespan
+			for i := 0; i < n; i++ {
+				prevCrit[i] = inc.IsCritical(i)
+			}
+			i := rng.Intn(n)
+			w := rng.Float64() * 10
+			if rng.Intn(5) == 0 {
+				w = weights[i] // no-op update
+			}
+			var mkChanged bool
+			buf, mkChanged = inc.UpdateNodeTracked(i, w, buf)
+			if mkChanged != (inc.Makespan != prevMk) {
+				t.Fatalf("mut %d: mkChanged=%v but makespan %v -> %v",
+					mut, mkChanged, prevMk, inc.Makespan)
+			}
+			inSet := make(map[int32]bool, len(buf))
+			for _, id := range buf {
+				inSet[id] = true
+			}
+			for u := 0; u < n; u++ {
+				if (inc.EFT[u] != prevEFT[u] || inc.Tail[u] != prevTail[u]) && !inSet[int32(u)] {
+					t.Fatalf("mut %d: node %d moved (EFT %v->%v, Tail %v->%v) but missing from changed set %v",
+						mut, u, prevEFT[u], inc.EFT[u], prevTail[u], inc.Tail[u], buf)
+				}
+				if !mkChanged && inc.IsCritical(u) != prevCrit[u] && !inSet[int32(u)] {
+					t.Fatalf("mut %d: node %d flipped criticality with stable makespan but missing from changed set",
+						mut, u)
+				}
+			}
+			fresh, err := NewTiming(g, append([]float64(nil), weights...), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireTimingsEqual(t, inc, fresh, "UpdateNodeTracked")
 		}
 	}
 }

@@ -17,21 +17,29 @@ const Eps = 1e-9
 type EdgeWeight func(u, v int) float64
 
 // Timing holds the result of the forward/backward scheduling passes over a
-// weighted DAG: the classical earliest/latest start and finish times of
-// every node, from which makespan, slack, and critical paths are derived.
+// weighted DAG: the classical earliest start/finish times of every node
+// plus the anchor-free tail lengths, from which makespan, latest times,
+// slack, and critical paths are derived.
 //
 // A Timing is bound to the graph structure it was created with; it may be
 // refreshed in place with Update (all weights) or UpdateNode (one weight)
 // without re-running the topological sort or allocating, which is what the
 // greedy schedulers lean on: each of their iterations changes exactly one
 // module's execution time.
+//
+// The backward state is the Tail array rather than materialized LST/LFT:
+// Tail[u] is anchored at the sinks, not at the makespan, so a makespan
+// shift no longer invalidates the whole backward pass — the incremental
+// update only re-relaxes nodes whose longest downstream path actually
+// changed. LST/LFT/Slack are derived on demand from (Makespan, Tail, EFT).
 type Timing struct {
 	g *Graph
 
 	// EST and EFT are the earliest start/finish times from the forward
-	// pass; LST and LFT the latest start/finish times from the backward
-	// pass anchored at the makespan.
-	EST, EFT, LST, LFT []float64
+	// pass. Tail[u] is the longest path length from u's finish to the
+	// overall end (0 at sinks): the backward pass re-anchored at the
+	// sinks instead of the makespan.
+	EST, EFT, Tail []float64
 
 	// Makespan is the end-to-end delay: max EFT over all nodes.
 	Makespan float64
@@ -49,9 +57,10 @@ type Timing struct {
 	scratch []float64 // hypothetical EFT buffer for WhatIfMakespan
 
 	// fdirty/bdirty mark, per epoch, the nodes whose forward (EFT) or
-	// backward (LST) values may move during an incremental pass; nodes not
-	// marked provably recompute to bit-identical values and are skipped.
-	// Epoch tagging makes clearing free: a new pass just increments epoch.
+	// backward (Tail) values may move during an incremental pass; nodes
+	// not marked provably recompute to bit-identical values and are
+	// skipped. Epoch tagging makes clearing free: a new pass just
+	// increments epoch.
 	fdirty, bdirty []int
 	epoch          int
 
@@ -59,6 +68,11 @@ type Timing struct {
 	// is monotone along every edge, so the makespan rescan after an
 	// incremental update only needs to look at these.
 	sinks []int32
+
+	// trk, when non-nil, collects the ids of nodes whose EFT or Tail
+	// changed during the current incremental pass (the changed-set API of
+	// UpdateNodeTracked). It aliases the caller's buffer.
+	trk []int32
 }
 
 // NewTiming runs the forward and backward passes over g with the given node
@@ -82,8 +96,7 @@ func NewTiming(g *Graph, nodeW []float64, edgeW EdgeWeight) (*Timing, error) {
 		g:       g,
 		EST:     make([]float64, n),
 		EFT:     make([]float64, n),
-		LST:     make([]float64, n),
-		LFT:     make([]float64, n),
+		Tail:    make([]float64, n),
 		order:   order,
 		pos:     pos,
 		nodeW:   nodeW,
@@ -95,6 +108,13 @@ func NewTiming(g *Graph, nodeW []float64, edgeW EdgeWeight) (*Timing, error) {
 		scratch: make([]float64, n),
 		fdirty:  make([]int, n),
 		bdirty:  make([]int, n),
+	}
+	if edgeW == nil {
+		// With zero transfer times the relaxations over the transitive
+		// reduction produce bit-identical EST/EFT/Tail (see buildReducedCSR),
+		// at a fraction of the edge work on dense graphs.
+		t.predOff, t.predAdj = g.redPredOff, g.redPredAdj
+		t.succOff, t.succAdj = g.redSuccOff, g.redSuccAdj
 	}
 	for u := 0; u < n; u++ {
 		if t.succOff[u] == t.succOff[u+1] {
@@ -134,25 +154,66 @@ func (t *Timing) Update(nodeW []float64) error {
 
 // UpdateNode sets the weight of node i to w and incrementally recomputes
 // the times, allocation-free. Nodes before i's topological position keep
-// their EST/EFT (they cannot reach i); within the suffix, only descendants
-// of a node whose EFT actually moved are re-relaxed, tracked by epoch
-// marks. The backward pass mirrors this over the prefix up to i when the
-// makespan anchor is unchanged, and re-runs fully otherwise. Skipped nodes
-// would recompute to bit-identical values, so the result is exactly that
-// of a fresh pass.
+// their EST/EFT (they cannot reach i); within the suffix, only nodes whose
+// start time can actually move are re-relaxed: a moved EFT marks a
+// successor only when it was, or now is, at least the successor's start
+// time, so a change that stays below the dominating predecessor is
+// absorbed on the spot. The backward pass mirrors this over the prefix for
+// the Tail lengths — and because Tail is anchored at the sinks rather than
+// the makespan, a makespan shift triggers no dense re-pass at all. Skipped
+// nodes would recompute to bit-identical values, so the result is exactly
+// that of a fresh pass.
 //
 // w must be non-negative and finite, as enforced by NewTiming/Update for
 // whole slices; UpdateNode is the per-iteration hot path and does not
 // re-validate.
 //
 // medcc:allocfree
-// medcc:floateq-exact — the no-op check and the makespan-anchor check must
+// medcc:floateq-exact — the no-op check and all moved/absorbed checks must
 // be bit-exact: epsilon slop would skip re-relaxations whose exact results
 // differ, breaking the "identical to a fresh pass" contract.
 func (t *Timing) UpdateNode(i int, w float64) {
-	if t.nodeW[i] == w {
-		return
+	t.trk = nil
+	t.updateNode(i, w)
+}
+
+// UpdateNodeTracked is UpdateNode plus change reporting for incremental
+// candidate maintenance: ids of nodes whose EFT or Tail changed are
+// appended to buf (a node may appear twice when both moved), and the
+// returned flag reports whether the makespan moved. When the makespan is
+// unchanged, a node's slack can only have moved if the node is in the
+// changed set — that is the contract engine-level candidate caches key
+// their re-evaluation on. When the makespan moved, every node's slack
+// shifts and callers must rescan criticality themselves.
+//
+// medcc:allocfree — appends stay within buf's capacity once the caller's
+// buffer has grown to the high-water mark.
+func (t *Timing) UpdateNodeTracked(i int, w float64, buf []int32) (changed []int32, mkChanged bool) {
+	if buf == nil {
+		// A nil trk field means "not tracking" to the relax loops, so the
+		// first call with a fresh buffer must seed a real (if empty) slice;
+		// steady-state callers pass the returned buffer back in.
+		buf = make([]int32, 0, 8) // medcc:lint-ignore allocfree — one-time seed for a nil buffer; steady state reuses the returned buffer
+
 	}
+	t.trk = buf[:0]
+	mkChanged = t.updateNode(i, w)
+	changed = t.trk
+	t.trk = nil
+	return changed, mkChanged
+}
+
+// updateNode is the shared body of UpdateNode/UpdateNodeTracked.
+//
+// medcc:allocfree
+// medcc:floateq-exact — the no-op and makespan-anchor checks must be
+// bit-exact; see UpdateNode.
+func (t *Timing) updateNode(i int, w float64) (mkChanged bool) {
+	// medcc:lint-ignore floateq — bit-exact no-op detection; see UpdateNode.
+	if t.nodeW[i] == w {
+		return false
+	}
+	wOld := t.nodeW[i]
 	t.nodeW[i] = w
 	p := t.pos[i]
 	t.epoch++
@@ -180,24 +241,51 @@ func (t *Timing) UpdateNode(i int, w float64) {
 		}
 	}
 	t.Makespan = mk
-	if mk == old {
-		// Anchor unchanged: nodes after position p keep their LST/LFT
-		// (their successors all sit after p), so only the prefix can move,
-		// and within it only ancestors of a node whose LST changed.
-		t.bdirty[i] = t.epoch
-		t.relaxBwd(p)
+	// Backward: node i's own Tail only depends on downstream weights, but
+	// its contribution w + Tail[i] to each predecessor changed. Seed the
+	// dirty set with the predecessors the old or new contribution could
+	// dominate and re-relax the prefix.
+	t.seedTail(i, wOld, w)
+	t.relaxTail(p - 1)
+	// medcc:lint-ignore floateq — bit-exact anchor comparison; a makespan
+	// that moved by less than any epsilon still shifts every slack.
+	return mk != old
+}
+
+// seedTail marks the predecessors of i whose Tail can move after i's
+// weight changed from wOld to wNew.
+//
+// medcc:floateq-exact — see relaxFwdZero.
+func (t *Timing) seedTail(i int, wOld, wNew float64) {
+	ep := t.epoch
+	tail, bdirty := t.Tail, t.bdirty
+	ti := tail[i]
+	if t.edgeW == nil {
+		cOld := wOld + ti
+		cNew := wNew + ti
+		for _, q := range t.predAdj[t.predOff[i]:t.predOff[i+1]] {
+			if cOld < tail[q] && cNew < tail[q] {
+				continue // absorbed: i neither was nor becomes q's argmax
+			}
+			bdirty[q] = ep
+		}
 		return
 	}
-	// The anchor moved: every path's latest times are re-anchored, which
-	// shifts nearly all LFT/LST values, so change tracking would cost more
-	// than it saves — run the dense pass.
-	t.backward(len(t.order) - 1)
+	for _, q := range t.predAdj[t.predOff[i]:t.predOff[i+1]] {
+		e := t.edgeW(int(q), i)
+		if e+wOld+ti < tail[q] && e+wNew+ti < tail[q] {
+			continue
+		}
+		bdirty[q] = ep
+	}
 }
 
 // relaxFwdZero is the forward re-relaxation of order[p:] for the common
 // zero-edge-weight case; relaxFwd is its general twin. Only nodes marked
 // dirty in the current epoch are recomputed, and a node's successors are
-// marked only when its EFT actually moved.
+// marked only when its EFT moved in a way the successor could see: the old
+// or new finish time reaches the successor's start time. Changes absorbed
+// below the dominating predecessor propagate no further.
 //
 // medcc:floateq-exact — "moved" means bit-exact inequality; skipped nodes
 // must recompute to identical values.
@@ -208,6 +296,7 @@ func (t *Timing) relaxFwdZero(p int) {
 	fdirty, est, eft, nodeW := t.fdirty, t.EST, t.EFT, t.nodeW
 	po, pa := t.predOff, t.predAdj
 	so, sa := t.succOff, t.succAdj
+	trk := t.trk
 	for _, u := range t.order[p:] {
 		if fdirty[u] != ep {
 			continue
@@ -220,17 +309,28 @@ func (t *Timing) relaxFwdZero(p int) {
 		}
 		est[u] = start
 		if f := start + nodeW[u]; f != eft[u] {
+			fOld := eft[u]
 			eft[u] = f
+			if trk != nil {
+				trk = append(trk, int32(u))
+			}
 			for _, v := range sa[so[u]:so[u+1]] {
+				if fOld < est[v] && f < est[v] {
+					continue // absorbed below v's dominating predecessor
+				}
 				fdirty[v] = ep
 			}
 		}
+	}
+	if trk != nil {
+		t.trk = trk
 	}
 }
 
 // medcc:floateq-exact — see relaxFwdZero.
 func (t *Timing) relaxFwd(p int) {
 	ep := t.epoch
+	trk := t.trk
 	for _, u := range t.order[p:] {
 		if t.fdirty[u] != ep {
 			continue
@@ -243,68 +343,100 @@ func (t *Timing) relaxFwd(p int) {
 		}
 		t.EST[u] = start
 		if f := start + t.nodeW[u]; f != t.EFT[u] {
+			fOld := t.EFT[u]
 			t.EFT[u] = f
+			if trk != nil {
+				trk = append(trk, int32(u))
+			}
 			for _, v := range t.succAdj[t.succOff[u]:t.succOff[u+1]] {
+				e := t.edgeW(u, int(v))
+				if fOld+e < t.EST[v] && f+e < t.EST[v] {
+					continue
+				}
 				t.fdirty[v] = ep
 			}
 		}
 	}
+	if trk != nil {
+		t.trk = trk
+	}
 }
 
-// relaxBwd re-relaxes the backward pass for positions hi down to 0 against
-// the unchanged makespan anchor, recomputing a node only when marked dirty
-// (an LST below it moved); its ancestors are marked in turn only when the
-// recomputed LST differs. Skipped nodes would recompute to bit-identical
-// values.
+// relaxTail re-relaxes the Tail lengths for positions hi down to 0,
+// recomputing a node only when marked dirty (a successor's contribution
+// moved across its Tail); its predecessors are marked in turn only when
+// the recomputed Tail differs and the contribution could dominate.
+// Skipped nodes would recompute to bit-identical values.
 //
 // medcc:floateq-exact — see relaxFwdZero.
-func (t *Timing) relaxBwd(hi int) {
-	mk := t.Makespan
+func (t *Timing) relaxTail(hi int) {
 	ep := t.epoch
 	if t.edgeW == nil {
-		bdirty, lst, lft, nodeW := t.bdirty, t.LST, t.LFT, t.nodeW
+		bdirty, tail, nodeW := t.bdirty, t.Tail, t.nodeW
 		po, pa := t.predOff, t.predAdj
 		so, sa := t.succOff, t.succAdj
 		order := t.order
+		trk := t.trk
 		for k := hi; k >= 0; k-- {
 			u := order[k]
 			if bdirty[u] != ep {
 				continue
 			}
-			finish := mk
+			mx := 0.0
 			for _, s := range sa[so[u]:so[u+1]] {
-				if d := lst[s]; d < finish {
-					finish = d
+				if c := nodeW[s] + tail[s]; c > mx {
+					mx = c
 				}
 			}
-			lft[u] = finish
-			if l := finish - nodeW[u]; l != lst[u] {
-				lst[u] = l
+			if mx != tail[u] {
+				cOld := nodeW[u] + tail[u]
+				tail[u] = mx
+				cNew := nodeW[u] + mx
+				if trk != nil {
+					trk = append(trk, int32(u))
+				}
 				for _, q := range pa[po[u]:po[u+1]] {
+					if cOld < tail[q] && cNew < tail[q] {
+						continue
+					}
 					bdirty[q] = ep
 				}
 			}
 		}
+		if trk != nil {
+			t.trk = trk
+		}
 		return
 	}
+	trk := t.trk
 	for k := hi; k >= 0; k-- {
 		u := t.order[k]
 		if t.bdirty[u] != ep {
 			continue
 		}
-		finish := mk
+		mx := 0.0
 		for _, s := range t.succAdj[t.succOff[u]:t.succOff[u+1]] {
-			if d := t.LST[s] - t.edgeW(u, int(s)); d < finish {
-				finish = d
+			if c := t.edgeW(u, int(s)) + t.nodeW[s] + t.Tail[s]; c > mx {
+				mx = c
 			}
 		}
-		t.LFT[u] = finish
-		if l := finish - t.nodeW[u]; l != t.LST[u] {
-			t.LST[u] = l
+		if mx != t.Tail[u] {
+			tOld := t.Tail[u]
+			t.Tail[u] = mx
+			if trk != nil {
+				trk = append(trk, int32(u))
+			}
 			for _, q := range t.predAdj[t.predOff[u]:t.predOff[u+1]] {
+				e := t.edgeW(int(q), u)
+				if e+t.nodeW[u]+tOld < t.Tail[q] && e+t.nodeW[u]+mx < t.Tail[q] {
+					continue
+				}
 				t.bdirty[q] = ep
 			}
 		}
+	}
+	if trk != nil {
+		t.trk = trk
 	}
 }
 
@@ -344,60 +476,105 @@ func (t *Timing) run() {
 			}
 		}
 	}
-	t.backward(len(t.order) - 1)
+	t.tailDense()
 }
 
-// backward runs the dense backward pass for positions hi down to 0,
-// anchored at the current makespan.
-func (t *Timing) backward(hi int) {
-	g := t.g
+// tailDense runs the dense backward pass filling Tail for every node.
+func (t *Timing) tailDense() {
 	if t.edgeW == nil {
-		mk := t.Makespan
-		lst, lft, nodeW := t.LST, t.LFT, t.nodeW
+		tail, nodeW := t.Tail, t.nodeW
 		so, sa := t.succOff, t.succAdj
 		order := t.order
-		for k := hi; k >= 0; k-- {
+		for k := len(order) - 1; k >= 0; k-- {
 			u := order[k]
-			finish := mk
+			mx := 0.0
 			for _, s := range sa[so[u]:so[u+1]] {
-				if d := lst[s]; d < finish {
-					finish = d
+				if c := nodeW[s] + tail[s]; c > mx {
+					mx = c
 				}
 			}
-			lft[u] = finish
-			lst[u] = finish - nodeW[u]
+			tail[u] = mx
 		}
 		return
 	}
-	for k := hi; k >= 0; k-- {
+	for k := len(t.order) - 1; k >= 0; k-- {
 		u := t.order[k]
-		finish := t.Makespan
-		for _, s := range g.succ[u] {
-			if d := t.LST[s] - t.edgeW(u, s); d < finish {
-				finish = d
+		mx := 0.0
+		for _, s := range t.succAdj[t.succOff[u]:t.succOff[u+1]] {
+			if c := t.edgeW(u, int(s)) + t.nodeW[s] + t.Tail[s]; c > mx {
+				mx = c
 			}
 		}
-		t.LFT[u] = finish
-		t.LST[u] = finish - t.nodeW[u]
+		t.Tail[u] = mx
 	}
 }
 
 // WhatIfMakespan returns the makespan the DAG would have if node i had
 // weight w, without mutating the Timing and without allocating. It is the
 // trial-move primitive of the makespan-aware schedulers (GAIN2, LOSS2,
-// DeadlineLoss): one call costs a forward re-relaxation of the topo-order
-// suffix from i instead of a full fresh Timing.
+// DeadlineLoss): one call costs a forward re-relaxation of the affected
+// part of the topo-order suffix from i instead of a full fresh Timing.
 //
 // medcc:allocfree
 // medcc:floateq-exact — dirty propagation mirrors relaxFwdZero and must use
 // bit-exact comparison for the same reason.
 func (t *Timing) WhatIfMakespan(i int, w float64) float64 {
+	// medcc:lint-ignore floateq — bit-exact no-op detection, as in UpdateNode.
 	if t.nodeW[i] == w {
 		return t.Makespan
 	}
 	p := t.pos[i]
 	t.epoch++
 	t.fdirty[i] = t.epoch
+	if t.edgeW == nil {
+		ep := t.epoch
+		fdirty, est, eft, nodeW := t.fdirty, t.EST, t.EFT, t.nodeW
+		po, pa := t.predOff, t.predAdj
+		so, sa := t.succOff, t.succAdj
+		scratch := t.scratch
+		for _, u := range t.order[p:] {
+			if fdirty[u] != ep {
+				continue
+			}
+			start := 0.0
+			for _, q := range pa[po[u]:po[u+1]] {
+				f := eft[q]
+				if fdirty[q] == ep {
+					f = scratch[q]
+				}
+				if f > start {
+					start = f
+				}
+			}
+			nw := nodeW[u]
+			if u == i {
+				nw = w
+			}
+			v := start + nw
+			scratch[u] = v
+			if v != eft[u] {
+				for _, s := range sa[so[u]:so[u+1]] {
+					if eft[u] < est[s] && v < est[s] {
+						continue // absorbed below s's dominating predecessor
+					}
+					fdirty[s] = ep
+				}
+			}
+		}
+		// Zero edge weights keep the hypothetical EFT monotone along
+		// edges, so the max is attained at a sink.
+		mk := 0.0
+		for _, u := range t.sinks {
+			f := eft[u]
+			if fdirty[u] == ep {
+				f = scratch[u]
+			}
+			if f > mk {
+				mk = f
+			}
+		}
+		return mk
+	}
 	mk := 0.0
 	for _, u := range t.order[:p] {
 		if t.EFT[u] > mk {
@@ -447,9 +624,18 @@ func (t *Timing) ew(u, v int) float64 {
 	return t.edgeW(u, v)
 }
 
+// LFT returns the latest finish time of node i against the current
+// makespan anchor: Makespan - Tail[i].
+func (t *Timing) LFT(i int) float64 { return t.Makespan - t.Tail[i] }
+
+// LST returns the latest start time of node i: LFT(i) minus its weight.
+func (t *Timing) LST(i int) float64 { return t.Makespan - t.Tail[i] - t.nodeW[i] }
+
 // Slack returns the buffer time of node i: the amount its execution can be
-// delayed without affecting the end-to-end delay (LST - EST == LFT - EFT).
-func (t *Timing) Slack(i int) float64 { return t.LST[i] - t.EST[i] }
+// delayed without affecting the end-to-end delay. It is evaluated as
+// (Makespan - Tail[i]) - EFT[i]; all criticality decisions in this repo
+// derive from this one expression so they agree bit-for-bit.
+func (t *Timing) Slack(i int) float64 { return t.Makespan - t.Tail[i] - t.EFT[i] }
 
 // IsCritical reports whether node i has zero buffer time.
 func (t *Timing) IsCritical(i int) bool { return t.Slack(i) <= Eps }

@@ -185,10 +185,10 @@ func TestTimingPropertiesRandom(t *testing.T) {
 		}
 		for i := 0; i < g.NumNodes(); i++ {
 			// EST <= LST, EFT <= LFT, finish-start == weight.
-			if tm.EST[i] > tm.LST[i]+Eps || tm.EFT[i] > tm.LFT[i]+Eps {
+			if tm.EST[i] > tm.LST(i)+Eps || tm.EFT[i] > tm.LFT(i)+Eps {
 				t.Fatalf("trial %d node %d: earliest after latest", trial, i)
 			}
-			if !almostEq(tm.EFT[i]-tm.EST[i], w[i]) || !almostEq(tm.LFT[i]-tm.LST[i], w[i]) {
+			if !almostEq(tm.EFT[i]-tm.EST[i], w[i]) || !almostEq(tm.LFT(i)-tm.LST(i), w[i]) {
 				t.Fatalf("trial %d node %d: duration mismatch", trial, i)
 			}
 			if tm.EFT[i] > tm.Makespan+Eps {

@@ -27,7 +27,10 @@ type TableIVRow struct {
 // CG and GAIN3 at `levels` budget levels across [Cmin, Cmax]; the paper
 // uses 20 levels over the 20 sizes of gen.PaperProblemSizes. Each fan-out
 // worker owns a campaignScratch, so the instance storage, schedulers, and
-// timing are reused across the sizes a worker processes.
+// timing are reused across the sizes a worker processes. Each algorithm
+// runs the budget grid as one warm-started sweep (see
+// campaignScratch.sweep): level k resumes from level k-1's schedule and
+// candidate state instead of re-solving from the least-cost schedule.
 func TableIV(seed int64, levels int) ([]TableIVRow, error) {
 	sizes := gen.PaperProblemSizes()
 	rows := make([]TableIVRow, len(sizes))
@@ -41,31 +44,25 @@ func TableIV(seed int64, levels int) ([]TableIVRow, error) {
 			errs[si] = err
 			return
 		}
-		cgMEDs := make([]float64, 0, levels)
-		gMEDs := make([]float64, 0, levels)
-		wMEDs := make([]float64, 0, levels)
+		budgets := cs.budgetGrid(cmin, cmax, levels)
+		cgMEDs, err := cs.meds("critical-greedy", budgets, make([]float64, 0, levels))
+		if err != nil {
+			errs[si] = err
+			return
+		}
+		gMEDs, err := cs.meds("gain3", budgets, make([]float64, 0, levels))
+		if err != nil {
+			errs[si] = err
+			return
+		}
+		wMEDs, err := cs.meds("gain3-wrf", budgets, make([]float64, 0, levels))
+		if err != nil {
+			errs[si] = err
+			return
+		}
 		perLvl := make([]float64, 0, levels)
-		for k := 1; k <= levels; k++ {
-			b := budgetLevel(cmin, cmax, k, levels)
-			cg, err := cs.med("critical-greedy", b)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			gain, err := cs.med("gain3", b)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			wrfMED, err := cs.med("gain3-wrf", b)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			cgMEDs = append(cgMEDs, cg)
-			gMEDs = append(gMEDs, gain)
-			wMEDs = append(wMEDs, wrfMED)
-			perLvl = append(perLvl, sched.Improvement(gain, cg))
+		for k := 0; k < levels; k++ {
+			perLvl = append(perLvl, sched.Improvement(gMEDs[k], cgMEDs[k]))
 		}
 		cgAvg, gAvg, wAvg := stats.Mean(cgMEDs), stats.Mean(gMEDs), stats.Mean(wMEDs)
 		rows[si] = TableIVRow{
@@ -101,7 +98,8 @@ type CampaignCell struct {
 // `instances` random workflows, each scheduled by CG and GAIN3 at
 // `levels` budget levels; every (size, level) cell averages the
 // improvement across the instances. The paper uses 10 instances and 20
-// levels (4,000 schedule pairs).
+// levels (4,000 schedule pairs). As in TableIV, each algorithm covers its
+// budget grid with one warm-started sweep per instance.
 func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
 	sizes := gen.PaperProblemSizes()
 	type instResult struct {
@@ -118,20 +116,20 @@ func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
 			results[k].err = err
 			return
 		}
+		budgets := cs.budgetGrid(cmin, cmax, levels)
+		cgMEDs, err := cs.meds("critical-greedy", budgets, make([]float64, 0, levels))
+		if err != nil {
+			results[k].err = err
+			return
+		}
+		gMEDs, err := cs.meds("gain3", budgets, make([]float64, 0, levels))
+		if err != nil {
+			results[k].err = err
+			return
+		}
 		imps := make([]float64, levels)
 		for lv := 1; lv <= levels; lv++ {
-			b := budgetLevel(cmin, cmax, lv, levels)
-			cg, err := cs.med("critical-greedy", b)
-			if err != nil {
-				results[k].err = err
-				return
-			}
-			gain, err := cs.med("gain3", b)
-			if err != nil {
-				results[k].err = err
-				return
-			}
-			imps[lv-1] = sched.Improvement(gain, cg)
+			imps[lv-1] = sched.Improvement(gMEDs[lv-1], cgMEDs[lv-1])
 		}
 		results[k].imp = imps
 	})

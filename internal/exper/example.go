@@ -33,36 +33,38 @@ func TableII() ([]TableIIRow, error) {
 
 	// Sweep the budget at fine granularity and merge runs of identical
 	// schedules into intervals. The example's cost quanta are integral,
-	// so 1/8 steps are more than fine enough.
+	// so 1/8 steps are more than fine enough. The whole staircase is one
+	// warm-started sweep: each budget level resumes Critical-Greedy from
+	// the previous level's schedule and candidate state.
 	const step = 0.125
-	type entry struct {
-		budget float64
-		res    *sched.Result
-	}
-	var sweep []entry
+	var budgets []float64
 	for b := cmin; b <= cmax+step/2; b += step {
-		res, err := sched.Run(sched.CriticalGreedy(), w, m, b)
-		if err != nil {
-			return nil, err
-		}
-		sweep = append(sweep, entry{budget: b, res: res})
+		budgets = append(budgets, b)
+	}
+	schedules, err := sched.CriticalGreedy().SweepInto(nil, w, m, budgets)
+	if err != nil {
+		return nil, err
 	}
 	var rows []TableIIRow
-	for i := 0; i < len(sweep); {
+	for i := 0; i < len(budgets); {
 		j := i
-		for j+1 < len(sweep) && sweep[j+1].res.Schedule.Equal(sweep[i].res.Schedule) {
+		for j+1 < len(budgets) && schedules[j+1].Equal(schedules[i]) {
 			j++
 		}
 		hi := cmax
-		if j+1 < len(sweep) {
-			hi = sweep[j+1].budget
+		if j+1 < len(budgets) {
+			hi = budgets[j+1]
+		}
+		ev, err := w.Evaluate(m, schedules[i], nil)
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, TableIIRow{
-			BudgetLo: sweep[i].budget,
+			BudgetLo: budgets[i],
 			BudgetHi: hi,
-			Mapping:  paperMapping(w, sweep[i].res.Schedule),
-			MED:      sweep[i].res.MED,
-			Cost:     sweep[i].res.Cost,
+			Mapping:  paperMapping(w, schedules[i]),
+			MED:      ev.Makespan,
+			Cost:     ev.Cost,
 		})
 		i = j + 1
 	}
@@ -97,7 +99,8 @@ type Fig6Point struct {
 }
 
 // Fig6 regenerates the Fig. 6 series: Critical-Greedy's MED at each
-// integral budget across [Cmin, Cmax] of the example workflow.
+// integral budget across [Cmin, Cmax] of the example workflow, produced by
+// one warm-started budget sweep.
 func Fig6() ([]Fig6Point, error) {
 	w, cat := workflow.PaperExample()
 	m, err := w.BuildMatrices(cat, cloud.HourlyRoundUp)
@@ -105,13 +108,21 @@ func Fig6() ([]Fig6Point, error) {
 		return nil, err
 	}
 	cmin, cmax := m.BudgetRange(w)
-	var pts []Fig6Point
+	var budgets []float64
 	for b := cmin; b <= cmax; b++ {
-		res, err := sched.Run(sched.CriticalGreedy(), w, m, b)
+		budgets = append(budgets, b)
+	}
+	schedules, err := sched.CriticalGreedy().SweepInto(nil, w, m, budgets)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Fig6Point, 0, len(budgets))
+	for k, b := range budgets {
+		ev, err := w.Evaluate(m, schedules[k], nil)
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, Fig6Point{Budget: b, MED: res.MED, Cost: res.Cost})
+		pts = append(pts, Fig6Point{Budget: b, MED: ev.Makespan, Cost: ev.Cost})
 	}
 	return pts, nil
 }

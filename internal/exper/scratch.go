@@ -32,8 +32,11 @@ type campaignScratch struct {
 	m        *workflow.Matrices
 	lc, fast workflow.Schedule
 
-	algs map[string]sched.IntoScheduler
-	dst  map[string]workflow.Schedule
+	algs  map[string]sched.IntoScheduler
+	dst   map[string]workflow.Schedule
+	swDst map[string][]workflow.Schedule
+
+	budgets []float64
 
 	times []float64
 	t     *dag.Timing
@@ -134,13 +137,13 @@ func (cs *campaignScratch) optimalMED(budget float64) (float64, error) {
 	return cs.makespan(s)
 }
 
-// sched runs the named algorithm at the budget on the current instance and
-// returns the resulting schedule (owned by the scratch, valid until the
-// next sched call for the same name).
-func (cs *campaignScratch) sched(name string, budget float64) (workflow.Schedule, error) {
+// alg returns the pooled scheduler instance for the named algorithm,
+// creating it on first use.
+func (cs *campaignScratch) alg(name string) (sched.IntoScheduler, error) {
 	if cs.algs == nil {
 		cs.algs = map[string]sched.IntoScheduler{}
 		cs.dst = map[string]workflow.Schedule{}
+		cs.swDst = map[string][]workflow.Schedule{}
 	}
 	alg, ok := cs.algs[name]
 	if !ok {
@@ -154,6 +157,17 @@ func (cs *campaignScratch) sched(name string, budget float64) (workflow.Schedule
 		}
 		cs.algs[name] = into
 		alg = into
+	}
+	return alg, nil
+}
+
+// sched runs the named algorithm at the budget on the current instance and
+// returns the resulting schedule (owned by the scratch, valid until the
+// next sched call for the same name).
+func (cs *campaignScratch) sched(name string, budget float64) (workflow.Schedule, error) {
+	alg, err := cs.alg(name)
+	if err != nil {
+		return nil, err
 	}
 	s, err := alg.ScheduleInto(cs.dst[name], cs.w, cs.m, budget)
 	if err != nil {
@@ -170,6 +184,51 @@ func (cs *campaignScratch) med(name string, budget float64) (float64, error) {
 		return 0, err
 	}
 	return cs.makespan(s)
+}
+
+// budgetGrid fills the scratch budget buffer with the campaign's ascending
+// budget levels over [cmin, cmax].
+func (cs *campaignScratch) budgetGrid(cmin, cmax float64, levels int) []float64 {
+	cs.budgets = cs.budgets[:0]
+	for k := 1; k <= levels; k++ {
+		cs.budgets = append(cs.budgets, budgetLevel(cmin, cmax, k, levels))
+	}
+	return cs.budgets
+}
+
+// sweep runs the named algorithm across an ascending budget grid on the
+// current instance, warm-starting each level from the previous one when
+// the algorithm supports it (sched.Sweeper) and falling back to
+// independent per-level solves otherwise. The returned schedules are owned
+// by the scratch, valid until the next sweep call for the same name.
+func (cs *campaignScratch) sweep(name string, budgets []float64) ([]workflow.Schedule, error) {
+	alg, err := cs.alg(name)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := sched.SweepSchedules(alg, cs.swDst[name], cs.w, cs.m, budgets)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	cs.swDst[name] = rows
+	return rows, nil
+}
+
+// meds sweeps the named algorithm over the budget grid and appends the
+// per-level makespans to dst.
+func (cs *campaignScratch) meds(name string, budgets []float64, dst []float64) ([]float64, error) {
+	rows, err := cs.sweep(name, budgets)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range rows {
+		mk, err := cs.makespan(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		dst = append(dst, mk)
+	}
+	return dst, nil
 }
 
 // makespan evaluates a schedule of the current instance with the pooled

@@ -3,7 +3,6 @@ package sched
 import (
 	"math"
 
-	"medcc/internal/dag"
 	"medcc/internal/workflow"
 )
 
@@ -60,11 +59,15 @@ func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 	return g.ScheduleInto(nil, w, m, budget)
 }
 
-// ScheduleInto implements IntoScheduler. The engine keeps the incremental
-// timing bound to the current schedule: each accepted upgrade re-relaxes
-// only the affected suffix of the topological order instead of rebuilding
-// the whole forward/backward pass, and the critical-path candidate list is
-// collected into a reused scratch slice.
+// ScheduleInto implements IntoScheduler. Instead of rescanning every
+// (module, type) pair per iteration, the engine maintains a per-module
+// best-upgrade cache with a lazy-deletion heap on top (see candTab): each
+// iteration pops the globally best affordable upgrade, applies it, and
+// repairs only the caches the accept invalidated. For CriticalOnly the
+// timing layer reports exactly which nodes an accept perturbed
+// (UpdateNodeTracked), so criticality flips are patched from the changed
+// set and the candidate pool is only rebuilt when the makespan itself
+// moved.
 //
 // medcc:allocfree
 func (g *Greedy) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
@@ -74,54 +77,129 @@ func (g *Greedy) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *wo
 	}
 	e := &g.eng
 	e.bind(w, m)
-	needTiming := g.Candidates == CriticalOnly
-	if needTiming {
+	if g.Candidates == CriticalOnly {
 		if err := e.resetTiming(s); err != nil {
 			return nil, err
 		}
 	}
+	e.ct.start(e, g.candMode())
+	g.run(s, &ctmp, budget)
+	return s, nil
+}
+
+// candMode maps the configured Criterion onto the candidate-table mode.
+func (g *Greedy) candMode() candMode {
+	if g.Rank == MaxRatio {
+		return candMaxRatio
+	}
+	return candMaxTime
+}
+
+// run drains the candidate heap at the given budget, leaving s, *ctmp, and
+// the candidate state positioned for a warm continuation at a larger
+// budget (SweepInto's per-level step).
+//
+// medcc:allocfree
+func (g *Greedy) run(s workflow.Schedule, ctmp *float64, budget float64) {
+	e := &g.eng
+	needTiming := g.Candidates == CriticalOnly
+	act := actAll
+	if needTiming {
+		act = actCritical
+	}
+	cextra := budget - *ctmp
+	if cextra <= 0 {
+		return
+	}
+	e.ct.rebuild(s, cextra, act)
 	for {
-		cextra := budget - ctmp
+		cextra = budget - *ctmp
 		if cextra <= 0 {
-			break
+			return
 		}
-		candidates := e.mods
+		i, j, dc, ok := e.ct.popBest(s, cextra, act)
+		if !ok {
+			return // no affordable rescheduling (Alg. 1 step 14)
+		}
+		s[i] = j
+		*ctmp += dc
+		next := budget - *ctmp
+		mkChanged := false
 		if needTiming {
-			candidates = e.critical()
+			e.trk, mkChanged = e.t.UpdateNodeTracked(i, e.m.TE[i][j], e.trk)
 		}
-		bi, bj := -1, -1
-		var bestDT, bestDC float64
-		for _, i := range candidates {
-			tei, cei := m.TE[i], m.CE[i]
-			told := tei[s[i]]
-			cold := cei[s[i]]
-			for _, j := range e.opts(i) {
-				if j == s[i] {
-					continue
-				}
-				dt := told - tei[j] // Eq. 10
-				dc := cei[j] - cold // Eq. 11
-				if dt <= dag.Eps {
-					continue // not an upgrade
-				}
-				if dc > cextra+costEps {
-					continue // unaffordable
-				}
-				if bi == -1 || g.better(dt, dc, bestDT, bestDC) {
-					bi, bj, bestDT, bestDC = i, j, dt, dc
+		// The accepted module's own cache is stale under its new type in
+		// every mode.
+		e.ct.evalModule(i, s, next)
+		if dc < 0 {
+			// A cost-saving upgrade grew the leftover budget: winners
+			// cached under less budget may now lose to newly affordable
+			// options.
+			e.ct.refreshGrown(s, next, act)
+		}
+		switch {
+		case mkChanged:
+			// The makespan anchor moved, so the critical set may have
+			// changed arbitrarily: rebuild the pool (cache reuse makes
+			// this an O(mods) scan, not an option rescan).
+			e.ct.rebuild(s, next, act)
+		case needTiming:
+			// Stable makespan: criticality flips are confined to the
+			// changed set (the UpdateNodeTracked contract), so only nodes
+			// the accept actually perturbed can enter the pool.
+			for _, id := range e.trk {
+				ii := int(id)
+				if e.ct.mpos[ii] >= 0 && e.t.IsCritical(ii) {
+					e.ct.pushEnsure(ii, s, next)
 				}
 			}
-		}
-		if bi == -1 {
-			break // no affordable rescheduling (Alg. 1 step 14)
-		}
-		s[bi] = bj
-		ctmp += bestDC
-		if needTiming {
-			e.updateNode(bi, bj)
+		default:
+			// AllModules: the module stays in the pool for further
+			// upgrades.
+			if e.ct.bj[i] >= 0 {
+				e.ct.push(i)
+			}
 		}
 	}
-	return s, nil
+}
+
+// SweepInto implements Sweeper: schedule the same instance at each budget
+// of an ascending sweep, resuming level k from level k-1's schedule,
+// incremental timing, and surviving candidate caches instead of re-solving
+// from the least-cost schedule. The level-k schedule is written into
+// dst[k] (reused when already the right length; dst is grown as needed).
+//
+// Warm continuation is exact for the greedy recurrences: the state after
+// draining the heap at budget b is a fixpoint — no affordable upgrade
+// remains — so restarting the drain at b' > b explores exactly the
+// upgrades the larger budget admits, matching a cold run that replayed the
+// same accept sequence.
+func (g *Greedy) SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
+	if err := checkAscending(budgets); err != nil {
+		return nil, err
+	}
+	dst = growSweepDst(dst, len(budgets))
+	if len(budgets) == 0 {
+		return dst, nil
+	}
+	s, ctmp, err := checkFeasibleInto(w, m, budgets[0], g.eng.lc)
+	if err != nil {
+		return nil, err
+	}
+	e := &g.eng
+	e.lc = s
+	e.bind(w, m)
+	if g.Candidates == CriticalOnly {
+		if err := e.resetTiming(s); err != nil {
+			return nil, err
+		}
+	}
+	e.ct.start(e, g.candMode())
+	for k, b := range budgets {
+		g.run(s, &ctmp, b)
+		dst[k] = copySchedule(dst[k], s)
+	}
+	return dst, nil
 }
 
 // costEps tolerates float jitter in cost arithmetic; costs are sums of
@@ -134,27 +212,10 @@ const costEps = 1e-9
 func sameCost(a, b float64) bool { return math.Abs(a-b) <= costEps }
 
 // better reports whether the candidate (dt, dc) beats the incumbent
-// (bestDT, bestDC) under the configured criterion.
-//
-// medcc:floateq-exact — ratios may be +Inf (free upgrades); exact
-// inequality merely detects distinct ranks before the epsilon tie-breaks.
+// (bestDT, bestDC) under the configured criterion (see upgradeBetter for
+// the shared core).
 func (g *Greedy) better(dt, dc, bestDT, bestDC float64) bool {
-	switch g.Rank {
-	case MaxRatio:
-		r, br := ratio(dt, dc), ratio(bestDT, bestDC)
-		if r != br {
-			return r > br
-		}
-		return dt > bestDT+dag.Eps
-	default: // MaxTimeDecrease
-		if dt > bestDT+dag.Eps {
-			return true
-		}
-		if dt < bestDT-dag.Eps {
-			return false
-		}
-		return dc < bestDC-costEps
-	}
+	return upgradeBetter(g.Rank == MaxRatio, dt, dc, bestDT, bestDC)
 }
 
 // ratio computes the GainWeight dt/dc, treating free or cost-saving

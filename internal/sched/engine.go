@@ -18,6 +18,74 @@ type IntoScheduler interface {
 	ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error)
 }
 
+// Sweeper is implemented by schedulers that support warm-started budget
+// sweeps: solving the same instance at several ascending budgets, each
+// level resuming from the previous level's schedule and surviving
+// candidate state instead of re-solving from scratch. The sweep campaign
+// runners (Table II, Fig. 6, Figs. 9-11) drive schedulers through this
+// interface.
+type Sweeper interface {
+	IntoScheduler
+	// SweepInto schedules the instance at each budgets[k] (which must be
+	// ascending), writing the level-k schedule into dst[k]; dst is grown
+	// to len(budgets) when shorter and existing entries of the right
+	// length are reused.
+	SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error)
+}
+
+// SweepSchedules runs sch at every budget of an ascending sweep, using the
+// warm-started SweepInto when sch implements Sweeper and falling back to
+// independent cold solves per level otherwise.
+func SweepSchedules(sch IntoScheduler, dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
+	if sw, ok := sch.(Sweeper); ok {
+		return sw.SweepInto(dst, w, m, budgets)
+	}
+	if err := checkAscending(budgets); err != nil {
+		return nil, err
+	}
+	dst = growSweepDst(dst, len(budgets))
+	for k, b := range budgets {
+		s, err := sch.ScheduleInto(dst[k], w, m, b)
+		if err != nil {
+			return nil, err
+		}
+		dst[k] = s
+	}
+	return dst, nil
+}
+
+// checkAscending validates a sweep's budget levels.
+func checkAscending(budgets []float64) error {
+	for k := 1; k < len(budgets); k++ {
+		if budgets[k] < budgets[k-1] {
+			return fmt.Errorf("sweep budgets not ascending: budgets[%d]=%.6g < budgets[%d]=%.6g",
+				k, budgets[k], k-1, budgets[k-1])
+		}
+	}
+	return nil
+}
+
+// growSweepDst resizes a sweep destination to n levels, keeping existing
+// per-level schedules for reuse.
+func growSweepDst(dst []workflow.Schedule, n int) []workflow.Schedule {
+	if cap(dst) < n {
+		nd := make([]workflow.Schedule, n)
+		copy(nd, dst)
+		return nd
+	}
+	return dst[:n]
+}
+
+// copySchedule copies src into dst, reusing dst when it has the right
+// length.
+func copySchedule(dst, src workflow.Schedule) workflow.Schedule {
+	if len(dst) != len(src) {
+		dst = make(workflow.Schedule, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
 // engine is the scratch state a scheduler keeps between calls: the
 // incremental timing, the execution-time buffer it is bound to, the
 // schedulable-module list, and candidate/visited scratch. Binding is keyed
@@ -46,13 +114,32 @@ type engine struct {
 	allTypes []int
 	moved    []bool
 	lc       workflow.Schedule
+
+	// ct is the per-module best-upgrade cache and lazy-deletion heap the
+	// greedy reschedulers drain instead of rescanning every (module, type)
+	// pair per iteration; trk is the reusable changed-set buffer for
+	// dag.Timing.UpdateNodeTracked.
+	ct  candTab
+	trk []int32
+
+	// Fallback structure-of-arrays option table, built locally when the
+	// bound matrices were assembled by hand without BuildOptions (localSoA
+	// true); otherwise optTable serves the matrices' shared table.
+	localSoA     bool
+	soaOff       []int32
+	soaTyp       []int32
+	soaTE, soaCE []float64
 }
 
 // bind points the engine at a (workflow, matrices) pair, reusing all
-// scratch when the pair is unchanged since the last call.
+// scratch when the pair is unchanged since the last call. When the pair
+// changed but the module and catalog counts did not — pooled builders
+// rebuilding instances in place — the module list, timing buffer,
+// candidate scratch, visited flags, and type list are all refilled in
+// place rather than reallocated.
 //
-// medcc:coldpath — (re)binding allocates the scratch; steady-state calls
-// take the early return.
+// medcc:coldpath — first binds (and size growth) allocate the scratch;
+// steady-state calls take the early return or refill existing capacity.
 func (e *engine) bind(w *workflow.Workflow, m *workflow.Matrices) {
 	if e.w == w && e.m == m && len(e.times) == w.NumModules() &&
 		e.wver == w.Graph().Version() && e.mver == m.Epoch() {
@@ -61,16 +148,94 @@ func (e *engine) bind(w *workflow.Workflow, m *workflow.Matrices) {
 	e.w, e.m = w, m
 	e.wver, e.mver = w.Graph().Version(), m.Epoch()
 	e.t = nil
-	e.mods = w.Schedulable()
-	e.cand = make([]int, 0, len(e.mods))
+	e.mods = w.SchedulableInto(e.mods)
 	nm := w.NumModules()
-	e.times = make([]float64, nm)
-	e.moved = make([]bool, nm)
+	if cap(e.times) < nm {
+		e.times = make([]float64, nm)
+	} else {
+		e.times = e.times[:nm]
+	}
+	if cap(e.moved) < nm {
+		e.moved = make([]bool, nm)
+	} else {
+		e.moved = e.moved[:nm]
+	}
+	if cap(e.cand) < len(e.mods) {
+		e.cand = make([]int, 0, len(e.mods))
+	} else {
+		e.cand = e.cand[:0]
+	}
 	n := len(m.Catalog)
-	e.allTypes = make([]int, n)
+	if cap(e.allTypes) < n {
+		e.allTypes = make([]int, n)
+	} else {
+		e.allTypes = e.allTypes[:n]
+	}
 	for j := range e.allTypes {
 		e.allTypes[j] = j
 	}
+	e.bindSoA()
+}
+
+// bindSoA installs the option-table view: the matrices' shared table when
+// BuildOptions ran, else a locally built equivalent over e.opts (same
+// layout: per module, rows sorted by TE ascending with ties by type index
+// ascending).
+func (e *engine) bindSoA() {
+	e.localSoA = !e.m.HasOptionTable()
+	if !e.localSoA {
+		return
+	}
+	e.buildLocalSoA()
+}
+
+// buildLocalSoA assembles the fallback table for hand-built matrices.
+//
+// medcc:coldpath — runs once per (re)bind, only for matrices without
+// BuildOptions; the capacity-reusing appends still avoid steady-state
+// allocation for pooled rebinding.
+func (e *engine) buildLocalSoA() {
+	nm := e.w.NumModules()
+	if cap(e.soaOff) < nm+1 {
+		e.soaOff = make([]int32, nm+1)
+	} else {
+		e.soaOff = e.soaOff[:nm+1]
+	}
+	e.soaTyp = e.soaTyp[:0]
+	e.soaTE = e.soaTE[:0]
+	e.soaCE = e.soaCE[:0]
+	for i := 0; i < nm; i++ {
+		e.soaOff[i] = int32(len(e.soaTyp))
+		base := int(e.soaOff[i])
+		for _, j := range e.opts(i) {
+			te, ce := e.m.TE[i][j], e.m.CE[i][j]
+			k := len(e.soaTyp)
+			e.soaTyp = append(e.soaTyp, 0)
+			e.soaTE = append(e.soaTE, 0)
+			e.soaCE = append(e.soaCE, 0)
+			for k > base && e.soaTE[k-1] > te {
+				e.soaTyp[k] = e.soaTyp[k-1]
+				e.soaTE[k] = e.soaTE[k-1]
+				e.soaCE[k] = e.soaCE[k-1]
+				k--
+			}
+			e.soaTyp[k] = int32(j)
+			e.soaTE[k] = te
+			e.soaCE[k] = ce
+		}
+	}
+	e.soaOff[nm] = int32(len(e.soaTyp))
+}
+
+// optTable returns module i's options as the flat (type, TE, CE) view in
+// ascending-TE order, from the matrices' shared table or the local
+// fallback.
+func (e *engine) optTable(i int) (typ []int32, te, ce []float64) {
+	if !e.localSoA {
+		return e.m.OptionTable(i)
+	}
+	lo, hi := e.soaOff[i], e.soaOff[i+1]
+	return e.soaTyp[lo:hi], e.soaTE[lo:hi], e.soaCE[lo:hi]
 }
 
 // resetTiming refreshes the incremental timing to schedule s, constructing

@@ -134,7 +134,10 @@ func (g *GAIN) staticOrder(dst workflow.Schedule, w *workflow.Workflow, m *workf
 // after its single reassignment. GAIN2's whole-DAG weights come from the
 // incremental timing's WhatIfMakespan probe instead of a trial Timing per
 // candidate, turning its O(candidates x full-DAG-pass) iteration into
-// O(candidates x affected-suffix) with zero allocations.
+// O(candidates x affected-suffix) with zero allocations. GAIN3's
+// task-local weights depend only on the task's own assignment, so it runs
+// off the candidate heap: one option scan per module up front, then one
+// pop per accepted upgrade (its ranking rule is exactly candMaxRatio).
 func (g *GAIN) oncePerTask(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64, makespanWeight bool) (workflow.Schedule, error) {
 	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
@@ -142,10 +145,14 @@ func (g *GAIN) oncePerTask(dst workflow.Schedule, w *workflow.Workflow, m *workf
 	}
 	e := &g.eng
 	e.bind(w, m)
-	if makespanWeight {
-		if err := e.resetTiming(s); err != nil {
-			return nil, err
-		}
+	if !makespanWeight {
+		e.ct.start(e, candMaxRatio)
+		e.resetMoved()
+		g.runHeap(s, &ctmp, budget)
+		return s, nil
+	}
+	if err := e.resetTiming(s); err != nil {
+		return nil, err
 	}
 	moved := e.resetMoved()
 	for {
@@ -167,15 +174,10 @@ func (g *GAIN) oncePerTask(dst workflow.Schedule, w *workflow.Workflow, m *workf
 				if dc > cextra+costEps {
 					continue
 				}
-				var dt float64
-				if makespanWeight {
-					if m.TE[i][s[i]]-m.TE[i][j] <= dag.Eps {
-						continue
-					}
-					dt = e.t.Makespan - e.t.WhatIfMakespan(i, m.TE[i][j])
-				} else {
-					dt = m.TE[i][s[i]] - m.TE[i][j]
+				if m.TE[i][s[i]]-m.TE[i][j] <= dag.Eps {
+					continue
 				}
+				dt := e.t.Makespan - e.t.WhatIfMakespan(i, m.TE[i][j])
 				if dt <= dag.Eps {
 					continue
 				}
@@ -192,11 +194,64 @@ func (g *GAIN) oncePerTask(dst workflow.Schedule, w *workflow.Workflow, m *workf
 		s[bi] = bj
 		moved[bi] = true
 		ctmp += bestDC
-		if makespanWeight {
-			e.updateNode(bi, bj)
-		}
+		e.updateNode(bi, bj)
 	}
 	return s, nil
+}
+
+// runHeap drains the candidate heap under the once-per-task discipline at
+// the given budget, leaving the state warm for a larger budget level.
+//
+// medcc:allocfree
+func (g *GAIN) runHeap(s workflow.Schedule, ctmp *float64, budget float64) {
+	e := &g.eng
+	cextra := budget - *ctmp
+	if cextra <= 0 {
+		return
+	}
+	e.ct.rebuild(s, cextra, actUnmoved)
+	for {
+		cextra = budget - *ctmp
+		if cextra <= 0 {
+			return
+		}
+		i, j, dc, ok := e.ct.popBest(s, cextra, actUnmoved)
+		if !ok {
+			return
+		}
+		s[i] = j
+		e.moved[i] = true
+		*ctmp += dc
+		// The module is retired for this pass, but its cache must reflect
+		// the new assignment for warm sweep levels that re-admit it.
+		e.ct.evalModule(i, s, budget-*ctmp)
+		if dc < 0 {
+			e.ct.refreshGrown(s, budget-*ctmp, actUnmoved)
+		}
+	}
+}
+
+// SweepInto implements Sweeper with independent per-level solves: the
+// once-per-task rule is defined against a single solve from the least-cost
+// schedule, so resuming level k from level k-1's state would re-admit every
+// task for one more move per level — a round-based algorithm, not GAIN.
+// (Empirically that continuation erases most of Table IV's CG-over-GAIN3
+// improvement.) The sweep therefore only reuses the engine and the
+// per-level destination buffers; every level is bit-identical to a cold
+// ScheduleInto.
+func (g *GAIN) SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
+	if err := checkAscending(budgets); err != nil {
+		return nil, err
+	}
+	dst = growSweepDst(dst, len(budgets))
+	for k, b := range budgets {
+		s, err := g.ScheduleInto(dst[k], w, m, b)
+		if err != nil {
+			return nil, err
+		}
+		dst[k] = s
+	}
+	return dst, nil
 }
 
 func init() {

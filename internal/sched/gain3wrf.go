@@ -1,9 +1,6 @@
 package sched
 
 import (
-	"math"
-
-	"medcc/internal/dag"
 	"medcc/internal/workflow"
 )
 
@@ -37,7 +34,12 @@ func (g *Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 	return g.ScheduleInto(nil, w, m, budget)
 }
 
-// ScheduleInto implements IntoScheduler.
+// ScheduleInto implements IntoScheduler. The per-round inner loop runs
+// off the candidate heap (candWRF keeps the type-index evaluation order
+// the Table VII replay is pinned to): each round rebuilds the pool from
+// the per-module caches — cheap, since only modules moved since their last
+// evaluation rescan their options — then pops one reassignment per module
+// until none is affordable.
 //
 // medcc:allocfree
 func (g *Gain3WRF) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
@@ -47,51 +49,74 @@ func (g *Gain3WRF) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *
 	}
 	e := &g.eng
 	e.bind(w, m)
+	e.ct.start(e, candWRF)
+	g.runRounds(s, &ctmp, budget)
+	return s, nil
+}
+
+// runRounds plays upgrade rounds at the given budget until a full round
+// makes no move, leaving the state warm for a larger budget level.
+//
+// medcc:allocfree
+func (g *Gain3WRF) runRounds(s workflow.Schedule, ctmp *float64, budget float64) {
+	e := &g.eng
 	for {
 		movedAny := false
-		movedThisRound := e.resetMoved()
+		e.resetMoved()
+		cextra := budget - *ctmp
+		if cextra <= 0 {
+			return
+		}
+		e.ct.rebuild(s, cextra, actUnmoved)
 		for {
-			cextra := budget - ctmp
+			cextra = budget - *ctmp
 			if cextra <= 0 {
+				return
+			}
+			i, j, dc, ok := e.ct.popBest(s, cextra, actUnmoved)
+			if !ok {
 				break
 			}
-			bi, bj := -1, -1
-			best := math.Inf(-1)
-			for _, i := range e.mods {
-				if movedThisRound[i] {
-					continue
-				}
-				for _, j := range e.opts(i) {
-					if j == s[i] {
-						continue
-					}
-					told, tnew := m.TE[i][s[i]], m.TE[i][j]
-					dc := m.CE[i][j] - m.CE[i][s[i]]
-					if told-tnew <= dag.Eps || dc > cextra+costEps {
-						continue
-					}
-					wt := math.Inf(1)
-					if dc > costEps {
-						wt = (told / tnew) / dc
-					}
-					if wt > best {
-						bi, bj, best = i, j, wt
-					}
-				}
-			}
-			if bi == -1 {
-				break
-			}
-			ctmp += m.CE[bi][bj] - m.CE[bi][s[bi]]
-			s[bi] = bj
-			movedThisRound[bi] = true
+			s[i] = j
+			e.moved[i] = true
 			movedAny = true
+			*ctmp += dc
+			// Retired for this round, but the cache must reflect the new
+			// assignment before the next round re-admits the module.
+			e.ct.evalModule(i, s, budget-*ctmp)
+			if dc < 0 {
+				e.ct.refreshGrown(s, budget-*ctmp, actUnmoved)
+			}
 		}
 		if !movedAny {
-			break
+			return
 		}
 	}
-	return s, nil
+}
+
+// SweepInto implements Sweeper: each budget level continues the round loop
+// from the previous level's schedule and candidate caches.
+func (g *Gain3WRF) SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
+	if err := checkAscending(budgets); err != nil {
+		return nil, err
+	}
+	dst = growSweepDst(dst, len(budgets))
+	if len(budgets) == 0 {
+		return dst, nil
+	}
+	s, ctmp, err := checkFeasibleInto(w, m, budgets[0], g.eng.lc)
+	if err != nil {
+		return nil, err
+	}
+	e := &g.eng
+	e.lc = s
+	e.bind(w, m)
+	e.ct.start(e, candWRF)
+	for k, b := range budgets {
+		g.runRounds(s, &ctmp, b)
+		dst[k] = copySchedule(dst[k], s)
+	}
+	return dst, nil
 }
 
 func init() {

@@ -62,10 +62,32 @@ func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *work
 	}
 	s := m.FastestInto(w, dst)
 	ctmp := m.Cost(s)
-	if l.Variant == 2 {
-		if err := e.resetTiming(s); err != nil {
-			return nil, err
+	if l.Variant != 2 {
+		// LOSS1's task-local LossWeights are independent of both the
+		// leftover budget and the timing, so the downgrade loop runs off
+		// the candidate heap: one option scan per module up front, then
+		// one re-scan of the single downgraded module per accept.
+		e.ct.start(e, candLoss)
+		e.ct.rebuild(s, 0, actAll)
+		for ctmp > budget+costEps {
+			i, j, save, ok := e.ct.popBest(s, 0, actAll)
+			if !ok {
+				// No downgrade available yet over budget: impossible,
+				// since Fastest can always be downgraded toward
+				// LeastCost whose cost is <= budget (checked above).
+				break
+			}
+			s[i] = j
+			ctmp -= save
+			e.ct.evalModule(i, s, 0)
+			if e.ct.bj[i] >= 0 {
+				e.ct.push(i)
+			}
 		}
+		return s, nil
+	}
+	if err := e.resetTiming(s); err != nil {
+		return nil, err
 	}
 	for ctmp > budget+costEps {
 		bi, bj := -1, -1
@@ -79,13 +101,9 @@ func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *work
 				if dc <= costEps {
 					continue
 				}
-				var dt float64 // time lost
-				switch l.Variant {
-				case 2:
-					dt = e.t.WhatIfMakespan(i, m.TE[i][j]) - e.t.Makespan
-				default:
-					dt = m.TE[i][j] - m.TE[i][s[i]]
-				}
+				// Time lost: the whole-DAG makespan increase of the
+				// tentative downgrade.
+				dt := e.t.WhatIfMakespan(i, m.TE[i][j]) - e.t.Makespan
 				if dt < 0 {
 					dt = 0 // cheaper and no slower: ideal downgrade
 				}
@@ -97,16 +115,11 @@ func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *work
 			}
 		}
 		if bi == -1 {
-			// No downgrade available yet over budget: impossible,
-			// since Fastest can always be downgraded toward
-			// LeastCost whose cost is <= budget (checked above).
 			break
 		}
 		s[bi] = bj
 		ctmp -= bestDC
-		if l.Variant == 2 {
-			e.updateNode(bi, bj)
-		}
+		e.updateNode(bi, bj)
 	}
 	return s, nil
 }

@@ -509,12 +509,12 @@ func (ws *obWorker) dfs(sh *bbShared, depth int, cost float64) {
 	}
 	i := sh.mods[depth]
 	// Critical path through i: EST[i] cannot drop and the i-to-exit tail
-	// (Makespan - LFT[i], which excludes i's own duration) cannot shrink
-	// when the suffix slows down, so est+TE+tail lower-bounds every leaf
-	// below a branch; with options TE-ascending, the first hopeless branch
-	// ends the level.
+	// (Tail[i], which excludes i's own duration) cannot shrink when the
+	// suffix slows down, so est+TE+tail lower-bounds every leaf below a
+	// branch; with options TE-ascending, the first hopeless branch ends
+	// the level.
 	est := e.t.EST[i]
-	tail := mk - e.t.LFT[i]
+	tail := e.t.Tail[i]
 	lo, hi := sh.optOff[depth], sh.optOff[depth+1]
 	rem := sh.suffixMin[depth+1]
 	if depth+1 == len(sh.mods) {

@@ -92,13 +92,23 @@ func (w *Workflow) DataSize(u, v int) float64 { return w.data[[2]int{u, v}] }
 // Schedulable returns the indices of modules that must be mapped to a VM
 // type (everything not Fixed), in index order.
 func (w *Workflow) Schedulable() []int {
-	var out []int
+	return w.SchedulableInto(nil)
+}
+
+// SchedulableInto is Schedulable with a reusable destination: dst is
+// truncated and refilled, so engines rebinding to a pooled workflow reuse
+// their module list instead of reallocating it per instance.
+//
+// medcc:allocfree — appends stay within dst's capacity once it has grown
+// to the largest module count seen.
+func (w *Workflow) SchedulableInto(dst []int) []int {
+	dst = dst[:0]
 	for i, m := range w.mods {
 		if !m.Fixed {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // Validate checks the structure: an acyclic graph, valid workloads, and at
@@ -170,6 +180,18 @@ type Matrices struct {
 	// the Matrices were assembled by hand and BuildOptions was not called.
 	opts [][]int
 
+	// soaOff/soaTyp/soaTE/soaCE are the structure-of-arrays option table:
+	// the surviving options of module i occupy rows soaOff[i]:soaOff[i+1],
+	// sorted by execution time ascending (ties by type index ascending),
+	// each row carrying its VM-type index, TE, and CE contiguously. Upgrade
+	// scans walk one dense block per module and stop at the first row whose
+	// time is no improvement — every later row is slower still. Rebuilt by
+	// BuildOptions alongside opts, reusing capacity.
+	soaOff []int32
+	soaTyp []int32
+	soaTE  []float64
+	soaCE  []float64
+
 	// epoch distinguishes successive in-place rebuilds of the same
 	// Matrices value (BuildMatricesInto): caches keyed on a *Matrices
 	// pointer compare epochs to detect that the contents changed behind
@@ -226,6 +248,64 @@ func (m *Matrices) BuildOptions() {
 		}
 		m.opts[i] = opts
 	}
+	m.buildOptionTable()
+}
+
+// buildOptionTable fills the flat (type, TE, CE) table from the pruned
+// options, insertion-sorting each module's rows by (TE asc, type asc). The
+// per-module option counts are tiny (bounded by the catalog size), so the
+// quadratic insert is faster than sort.Sort and allocation-free.
+func (m *Matrices) buildOptionTable() {
+	nm := len(m.TE)
+	if cap(m.soaOff) < nm+1 {
+		m.soaOff = make([]int32, nm+1)
+	} else {
+		m.soaOff = m.soaOff[:nm+1]
+	}
+	m.soaTyp = m.soaTyp[:0]
+	m.soaTE = m.soaTE[:0]
+	m.soaCE = m.soaCE[:0]
+	for i := 0; i < nm; i++ {
+		m.soaOff[i] = int32(len(m.soaTyp))
+		base := int(m.soaOff[i])
+		for _, j := range m.opts[i] {
+			te, ce := m.TE[i][j], m.CE[i][j]
+			k := len(m.soaTyp)
+			m.soaTyp = append(m.soaTyp, 0)
+			m.soaTE = append(m.soaTE, 0)
+			m.soaCE = append(m.soaCE, 0)
+			// Strict > keeps the insert stable: equal-TE rows preserve the
+			// ascending type order opts already has.
+			for k > base && m.soaTE[k-1] > te {
+				m.soaTyp[k] = m.soaTyp[k-1]
+				m.soaTE[k] = m.soaTE[k-1]
+				m.soaCE[k] = m.soaCE[k-1]
+				k--
+			}
+			m.soaTyp[k] = int32(j)
+			m.soaTE[k] = te
+			m.soaCE[k] = ce
+		}
+	}
+	m.soaOff[nm] = int32(len(m.soaTyp))
+}
+
+// OptionTable returns module i's dominance-pruned options as a
+// structure-of-arrays view sorted by execution time ascending (ties by
+// type index ascending): typ[k] is the VM-type index of row k, te[k] and
+// ce[k] its execution time and cost. All three slices are nil when
+// BuildOptions has not run. The slices are shared and must not be
+// modified.
+// HasOptionTable reports whether the flat option table is available, i.e.
+// whether BuildOptions has run on these matrices.
+func (m *Matrices) HasOptionTable() bool { return m.soaOff != nil }
+
+func (m *Matrices) OptionTable(i int) (typ []int32, te, ce []float64) {
+	if m.soaOff == nil {
+		return nil, nil, nil
+	}
+	lo, hi := m.soaOff[i], m.soaOff[i+1]
+	return m.soaTyp[lo:hi], m.soaTE[lo:hi], m.soaCE[lo:hi]
 }
 
 // Options returns the dominance-pruned VM-type indices for module i in

@@ -1,28 +1,34 @@
 #!/bin/sh
 # Compare two benchmark JSON snapshots produced by scripts/bench.sh and
-# fail on ns/op regressions.
+# fail on regressions.
 #
 # Usage: scripts/bench_compare.sh [baseline.json] [candidate.json]
 #
 # Environment:
 #   MAX_REGRESSION_PCT  allowed ns/op increase per benchmark (default 25)
+#   MAX_ALLOC_DELTA     allowed allocs/op increase per benchmark (default 0:
+#                       any new steady-state allocation is a failure —
+#                       allocation counts are deterministic, so unlike the
+#                       ns/op tolerance this needs no noise headroom)
 #
 # Every benchmark present in both files is compared; the script exits
 # non-zero when any of them is more than MAX_REGRESSION_PCT percent slower
-# in the candidate. Benchmarks that exist in only one file are ignored, so
-# adding or retiring benchmarks never breaks the check.
+# or gains more than MAX_ALLOC_DELTA allocs/op in the candidate.
+# Benchmarks that exist in only one file are ignored, so adding or
+# retiring benchmarks never breaks the check.
 set -eu
 cd "$(dirname "$0")/.."
-BASE="${1:-BENCH_1.json}"
-CAND="${2:-BENCH_2.json}"
+BASE="${1:-BENCH_4.json}"
+CAND="${2:-.bench.candidate.json}"
 MAX="${MAX_REGRESSION_PCT:-25}"
+MAXALLOC="${MAX_ALLOC_DELTA:-0}"
 
 for f in "$BASE" "$CAND"; do
 	[ -f "$f" ] || { echo "bench_compare: missing $f" >&2; exit 1; }
 done
 
-awk -v base="$BASE" -v cand="$CAND" -v max="$MAX" '
-function parse(file, store,    line, name, ns) {
+awk -v base="$BASE" -v cand="$CAND" -v max="$MAX" -v maxalloc="$MAXALLOC" '
+function parse(file, store, alloc,    line, name, ns, al) {
 	while ((getline line < file) > 0) {
 		if (line !~ /ns_per_op/) continue
 		# Lines look like:
@@ -32,28 +38,41 @@ function parse(file, store,    line, name, ns) {
 		ns = line
 		sub(/.*"ns_per_op":[ \t]*/, "", ns); sub(/[,}].*/, "", ns)
 		store[name] = ns + 0
+		if (line ~ /"allocs_per_op":[ \t]*[0-9]/) {
+			al = line
+			sub(/.*"allocs_per_op":[ \t]*/, "", al); sub(/[,}].*/, "", al)
+			alloc[name] = al + 0
+		}
 	}
 	close(file)
 }
 BEGIN {
-	parse(base, b)
-	parse(cand, c)
+	parse(base, b, ba)
+	parse(cand, c, ca)
 	n = 0; bad = 0
 	for (name in b) {
 		if (!(name in c)) continue
 		n++
 		delta = (c[name] - b[name]) / b[name] * 100
-		printf "%-34s %12.0f -> %12.0f ns/op  %+7.1f%%\n", name, b[name], c[name], delta
-		if (delta > max + 0) { bad++; worst[bad] = name }
+		note = ""
+		if ((name in ba) && (name in ca)) {
+			dalloc = ca[name] - ba[name]
+			note = sprintf("  allocs %d -> %d", ba[name], ca[name])
+			if (dalloc > maxalloc + 0) {
+				bad++; worst[bad] = name " (allocs/op " ba[name] " -> " ca[name] ")"
+			}
+		}
+		printf "%-34s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n", name, b[name], c[name], delta, note
+		if (delta > max + 0) { bad++; worst[bad] = name " (ns/op " sprintf("%+.1f", delta) "%)" }
 	}
 	if (n == 0) {
 		print "bench_compare: no common benchmarks between " base " and " cand
 		exit 1
 	}
 	if (bad > 0) {
-		printf "FAIL: %d benchmark(s) regressed more than %s%% ns/op vs %s:\n", bad, max, base
+		printf "FAIL: %d regression(s) vs %s (limits: ns/op +%s%%, allocs/op +%s):\n", bad, base, max, maxalloc
 		for (i = 1; i <= bad; i++) print "  " worst[i]
 		exit 1
 	}
-	printf "OK: no benchmark regressed more than %s%% ns/op (%d compared)\n", max, n
+	printf "OK: no regressions (%d compared; limits: ns/op +%s%%, allocs/op +%s)\n", n, max, maxalloc
 }'

@@ -21,18 +21,18 @@ test:
 	$(GO) test ./...
 
 # Full benchmark sweep, 5 repetitions per name, distilled into
-# BENCH_4.json (see scripts/bench.sh for knobs).
+# BENCH_5.json (see scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
 
 # Run a fresh sweep into an uncommitted candidate snapshot and fail when
 # any benchmark present in both regressed against the committed
-# BENCH_4.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
+# BENCH_5.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
 # any allocs/op increase (MAX_ALLOC_DELTA, default 0). Re-record the
 # baseline with `make bench` when a change is intentional.
 bench-check:
 	scripts/bench.sh .bench.candidate.json
-	scripts/bench_compare.sh BENCH_4.json .bench.candidate.json
+	scripts/bench_compare.sh BENCH_5.json .bench.candidate.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:
@@ -41,11 +41,13 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
-# Short fuzz sessions over the input parsers.
+# Short fuzz sessions over the input parsers and the binary container.
 fuzz:
 	$(GO) test -fuzz=FuzzWorkflowJSON -fuzztime=30s ./internal/workflow/
 	$(GO) test -fuzz=FuzzGraphJSON -fuzztime=30s ./internal/dag/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/dax/
+	$(GO) test -fuzz=FuzzDecodeCorpus -fuzztime=30s ./internal/encoding/
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/encoding/
 
 cover:
 	$(GO) test -cover ./...

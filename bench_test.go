@@ -8,11 +8,15 @@ package medcc
 // that every experiment still completes.
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/rand"
 	"testing"
 
 	"medcc/internal/cloud"
 	"medcc/internal/dag"
+	"medcc/internal/encoding"
 	"medcc/internal/exper"
 	"medcc/internal/gen"
 	"medcc/internal/sched"
@@ -359,6 +363,102 @@ func BenchmarkGenerateInstance100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := gen.Instance(rng, gen.ProblemSize{M: 100, E: 2344, N: 9}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- corpus ingest (internal/encoding) ---
+
+// benchCorpusRecords is how many instances the ingest benches cycle per
+// iteration; ns/op divides by it for a per-instance read.
+const benchCorpusRecords = 64
+
+// benchCorpus builds one in-memory binary corpus and, for the JSON
+// comparator, the same workflows marshaled individually — the decode
+// side of the pre-corpus ingestion path (one Unmarshal into a fresh
+// workflow per instance).
+func benchCorpus(b *testing.B) (bin []byte, jsons [][]byte) {
+	b.Helper()
+	var buf bytes.Buffer
+	cw, err := encoding.NewCorpusWriter(&buf, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bld gen.Builder
+	sizes := gen.PaperProblemSizes()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < benchCorpusRecords; i++ {
+		size := sizes[i%6] // the smaller half of the grid: per-record overhead dominates there
+		wf, cat, err := bld.Instance(rng, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info := encoding.InstanceInfo{Index: int64(i), Kind: encoding.KindGenerated,
+			M: uint32(size.M), E: uint32(size.E), N: uint32(size.N)}
+		if err := cw.WriteInstance(wf, cat, info); err != nil {
+			b.Fatal(err)
+		}
+		js, err := json.Marshal(wf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jsons = append(jsons, js)
+	}
+	if err := cw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), jsons
+}
+
+// BenchmarkCorpusIngest reads benchCorpusRecords instances per iteration
+// from an in-memory binary corpus through the pooled zero-copy decoder.
+// Steady state must stay at 0 allocs/op (gated by scripts/bench_compare.sh,
+// MAX_ALLOC_DELTA=0).
+func BenchmarkCorpusIngest(b *testing.B) {
+	data, _ := benchCorpus(b)
+	var cr encoding.CorpusReader
+	src := bytes.NewReader(data)
+	wf := workflow.New()
+	sweep := func() {
+		src.Reset(data)
+		if err := cr.Reset(src); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, _, err := cr.Next(wf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cr.NumRead() != benchCorpusRecords {
+			b.Fatalf("read %d records", cr.NumRead())
+		}
+	}
+	sweep() // warm the pooled decoder and intern table
+	sweep()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
+}
+
+// BenchmarkCorpusIngestJSON is the comparator: the same instances read
+// back through encoding/json, one Unmarshal into a fresh workflow per
+// record, as the pre-corpus JSON ingestion path did.
+func BenchmarkCorpusIngestJSON(b *testing.B) {
+	_, jsons := benchCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, js := range jsons {
+			wf := workflow.New()
+			if err := json.Unmarshal(js, wf); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -7,12 +7,15 @@
 //	experiments -only tableIV        # one experiment
 //	experiments -quick               # reduced instance counts (CI-sized)
 //	experiments -seed 42             # change the campaign seed
+//	experiments -writecorpus dir     # freeze the campaign instance sets as binary corpora
+//	experiments -corpus dir          # run tableIV/fig8-11/validation from frozen corpora
 //
 // Output is the same row/series layout the paper reports, printed to
 // stdout.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +42,8 @@ func run(args []string, out io.Writer) error {
 		seed   = fs.Int64("seed", exper.DefaultSeed, "campaign seed")
 		csvDir = fs.String("csvdir", "", "also write fig6/tableIV/campaign/tableVII CSV files into this directory")
 		optExt = fs.Bool("optext", false, "extend the optimality studies (tableIII, fig7) to the larger exact-baseline sizes (m=10..14)")
+		corpus = fs.String("corpus", "", "run tableIV/fig8, fig9-11, and validation from the binary corpora in this directory (see -writecorpus)")
+		wcorp  = fs.String("writecorpus", "", "write the campaign instance sets as binary corpora into this directory and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +53,10 @@ func run(args []string, out io.Writer) error {
 	tabIIIInst, fig7Inst, levels, campInst := 5, 100, 20, 10
 	if *quick {
 		tabIIIInst, fig7Inst, levels, campInst = 2, 10, 5, 2
+	}
+
+	if *wcorp != "" {
+		return writeCorpora(out, *wcorp, *seed, campInst)
 	}
 
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
@@ -147,7 +156,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var tableIV []exper.TableIVRow
 	if want("tableIV") || want("fig8") {
-		rows, err := exper.TableIV(*seed, levels)
+		rows, err := tableIVRows(*corpus, *seed, levels)
 		if err != nil {
 			return err
 		}
@@ -175,7 +184,7 @@ func run(args []string, out io.Writer) error {
 	if want("fig9") || want("fig10") || want("fig11") {
 		ran = true
 		fmt.Fprintf(out, "== Figs. 9-11 campaign: %d instances x %d budget levels per size ==\n", campInst, levels)
-		cells, err := exper.Campaign(*seed, campInst, levels)
+		cells, err := campaignCells(*corpus, *seed, campInst, levels)
 		if err != nil {
 			return err
 		}
@@ -244,7 +253,7 @@ func run(args []string, out io.Writer) error {
 	if want("validation") {
 		ran = true
 		fmt.Fprintln(out, "== Validation A2: analytic model vs discrete-event simulator ==")
-		rows, err := exper.SimValidation(*seed, gen.ProblemSize{M: 30, E: 269, N: 6}, 10)
+		rows, err := validationRows(*corpus, *seed)
 		if err != nil {
 			return err
 		}
@@ -337,4 +346,106 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
 	return nil
+}
+
+// validationSize is the A2 validation problem size (DESIGN.md), shared
+// by the regenerate path, -writecorpus, and the corpus-backed run.
+var validationSize = gen.ProblemSize{M: 30, E: 269, N: 6}
+
+// validationInstances is the A2 validation instance count.
+const validationInstances = 10
+
+// Corpus file names inside a -corpus / -writecorpus directory.
+const (
+	tableIVCorpus    = "tableiv.medc"
+	campaignCorpus   = "campaign.medc"
+	validationCorpus = "validation.medc"
+)
+
+// writeCorpora freezes the Table IV, Figs. 9-11, and A2 validation
+// instance sets as binary corpora. The campaign corpus is shaped by the
+// instance count in effect (-quick changes it), so runs against it must
+// use the same flag — the runners verify the shape and refuse otherwise.
+func writeCorpora(out io.Writer, dir string, seed int64, campInst int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, emit func(io.Writer) (int, error)) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		n, err := emit(bw)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: %d instances\n", filepath.Join(dir, name), n)
+		return nil
+	}
+	if err := write(tableIVCorpus, func(w io.Writer) (int, error) {
+		return exper.WriteTableIVCorpus(w, seed, true)
+	}); err != nil {
+		return err
+	}
+	if err := write(campaignCorpus, func(w io.Writer) (int, error) {
+		return exper.WriteCampaignCorpus(w, seed, campInst, true)
+	}); err != nil {
+		return err
+	}
+	return write(validationCorpus, func(w io.Writer) (int, error) {
+		return exper.WriteValidationCorpus(w, seed, validationSize, validationInstances, true)
+	})
+}
+
+// openCorpus opens one corpus file for streaming.
+func openCorpus(dir, name string) (*os.File, *bufio.Reader, error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, bufio.NewReaderSize(f, 1<<16), nil
+}
+
+func tableIVRows(corpusDir string, seed int64, levels int) ([]exper.TableIVRow, error) {
+	if corpusDir == "" {
+		return exper.TableIV(seed, levels)
+	}
+	f, br, err := openCorpus(corpusDir, tableIVCorpus)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return exper.TableIVFromCorpus(br, levels)
+}
+
+func campaignCells(corpusDir string, seed int64, instances, levels int) ([]exper.CampaignCell, error) {
+	if corpusDir == "" {
+		return exper.Campaign(seed, instances, levels)
+	}
+	f, br, err := openCorpus(corpusDir, campaignCorpus)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return exper.CampaignFromCorpus(br, instances, levels)
+}
+
+func validationRows(corpusDir string, seed int64) ([]exper.ValidationRow, error) {
+	if corpusDir == "" {
+		return exper.SimValidation(seed, validationSize, validationInstances)
+	}
+	f, br, err := openCorpus(corpusDir, validationCorpus)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return exper.SimValidationFromCorpus(br, seed)
 }

@@ -19,15 +19,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"medcc"
-	"medcc/internal/dax"
-	"medcc/internal/wfcommons"
+	"medcc/internal/ingest"
 )
 
 func main() {
@@ -67,47 +65,30 @@ func run(args []string) error {
 
 	var w *medcc.Workflow
 	var cat medcc.Catalog
+	// All three workflow flags route through the shared streaming ingest
+	// path (format auto-detected, no whole-file slurp); the dedicated
+	// -dax/-wfcommons flags remain as documentation of intent.
+	wfFile := *wfPath
+	if wfFile == "" {
+		wfFile = *daxPath
+	}
+	if wfFile == "" {
+		wfFile = *wfcPath
+	}
 	switch {
 	case *example:
 		w, cat = medcc.PaperExample()
-	case *daxPath != "" && *catPath != "":
-		f, err := os.Open(*daxPath)
-		if err != nil {
-			return err
-		}
-		parsed, _, err := dax.Parse(f, dax.Options{ReferencePower: *refPower})
-		f.Close()
+	case wfFile != "" && *catPath != "":
+		parsed, _, _, err := ingest.File(wfFile, ingest.Options{ReferencePower: *refPower})
 		if err != nil {
 			return err
 		}
 		w = parsed
-		if err := readJSON(*catPath, &cat); err != nil {
-			return err
-		}
-	case *wfcPath != "" && *catPath != "":
-		f, err := os.Open(*wfcPath)
-		if err != nil {
-			return err
-		}
-		parsed, _, err := wfcommons.Parse(f, wfcommons.Options{ReferencePower: *refPower})
-		f.Close()
-		if err != nil {
-			return err
-		}
-		w = parsed
-		if err := readJSON(*catPath, &cat); err != nil {
-			return err
-		}
-	case *wfPath != "" && *catPath != "":
-		w = medcc.NewWorkflow()
-		if err := readJSON(*wfPath, w); err != nil {
-			return err
-		}
-		if err := readJSON(*catPath, &cat); err != nil {
+		if err := ingest.JSONFile(*catPath, &cat); err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("need -workflow (or -dax) and -catalog, or -example (see -h)")
+		return fmt.Errorf("need -workflow (or -dax, -wfcommons) and -catalog, or -example (see -h)")
 	}
 
 	var policy medcc.BillingPolicy
@@ -206,13 +187,3 @@ func run(args []string) error {
 	return nil
 }
 
-func readJSON(path string, v any) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	if err := json.Unmarshal(data, v); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	return nil
-}

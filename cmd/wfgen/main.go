@@ -1,10 +1,16 @@
 // Command wfgen emits random workflow instances and VM catalogs as JSON,
-// in the format cmd/medcc consumes.
+// in the format cmd/medcc consumes — or, in corpus mode, streams many
+// instances into one compact binary corpus file (see internal/encoding).
 //
 // Usage:
 //
 //	wfgen -m 20 -e 80 -n 5 -seed 1 -out wf.json -catout cat.json
 //	wfgen -topology montage -width 8 -out wf.json
+//	wfgen -corpus corpus.medc -count 100000 -seed 1 [-compress] [converted.json converted.xml ...]
+//
+// Corpus mode generates -count instances cycling through the paper's 20
+// problem sizes, then appends any positional-argument files (DAX XML or
+// WfCommons JSON, format auto-detected) converted to workflow records.
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"os"
 
 	"medcc/internal/cloud"
+	"medcc/internal/encoding"
 	"medcc/internal/gen"
+	"medcc/internal/ingest"
 	"medcc/internal/workflow"
 )
 
@@ -40,9 +48,15 @@ func run(args []string) error {
 		depth    = fs.Int("depth", 4, "depth for the layered topology")
 		out      = fs.String("out", "", "workflow output file (default stdout)")
 		catOut   = fs.String("catout", "", "catalog output file (omit to skip)")
+		corpus   = fs.String("corpus", "", "write a binary instance corpus to this file instead of JSON")
+		count    = fs.Int("count", 0, "corpus mode: number of generated instances (paper sizes, round-robin)")
+		compress = fs.Bool("compress", false, "corpus mode: DEFLATE-compress chunks that shrink")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *corpus != "" {
+		return runCorpus(*corpus, *count, *seed, *n, *compress, fs.Args())
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -87,6 +101,70 @@ func run(args []string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runCorpus streams count generated instances (plus any converted
+// files) into one binary corpus. Generation cycles the paper's 20
+// problem sizes with a pooled builder, so memory stays flat no matter
+// how many instances are requested.
+func runCorpus(path string, count int, seed int64, n int, compress bool, converts []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw, err := encoding.NewCorpusWriter(f, compress)
+	if err != nil {
+		return err
+	}
+	var b gen.Builder
+	sizes := gen.PaperProblemSizes()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < count; i++ {
+		size := sizes[i%len(sizes)]
+		wf, cat, err := b.Instance(rng, size)
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		err = cw.WriteInstance(wf, cat, encoding.InstanceInfo{
+			Seed: seed, Index: int64(i), Kind: encoding.KindGenerated,
+			M: uint32(size.M), E: uint32(size.E), N: uint32(size.N),
+		})
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+	convCat := cloud.DiminishingCatalog(n, 3, 1, gen.SimulationGamma)
+	for i, p := range converts {
+		wf, _, format, err := ingest.File(p, ingest.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		kind := encoding.KindWfCommons
+		if format == ingest.FormatDAX {
+			kind = encoding.KindDAX
+		}
+		err = cw.WriteInstance(wf, convCat, encoding.InstanceInfo{
+			Index: int64(i), Kind: kind,
+			M: uint32(wf.NumModules()), E: uint32(wf.NumDependencies()), N: uint32(n),
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "corpus %s: %d records (%d generated, %d converted), %d bytes\n",
+		path, cw.Count(), count, len(converts), st.Size())
 	return nil
 }
 

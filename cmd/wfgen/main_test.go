@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"medcc/internal/cloud"
+	"medcc/internal/encoding"
 	"medcc/internal/workflow"
 )
 
@@ -37,6 +40,70 @@ func TestRunTopologies(t *testing.T) {
 		if err := cat.Validate(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestRunCorpusMode(t *testing.T) {
+	dir := t.TempDir()
+
+	// A converted input rides along as a positional argument.
+	daxPath := filepath.Join(dir, "conv.xml")
+	dax := `<?xml version="1.0"?>
+<adag name="tiny">
+  <job id="a" runtime="3"/>
+  <job id="b" runtime="5"/>
+  <child ref="b"><parent ref="a"/></child>
+</adag>`
+	if err := os.WriteFile(daxPath, []byte(dax), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "corpus.medc")
+	if err := run([]string{"-corpus", out, "-count", "25", "-seed", "3", "-compress", daxPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cr, err := encoding.NewCorpusReader(bufio.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := workflow.New()
+	generated, converted := 0, 0
+	for {
+		cat, info, err := cr.Next(wf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", cr.NumRead(), err)
+		}
+		if err := cat.Validate(); err != nil {
+			t.Fatalf("record %d catalog: %v", cr.NumRead(), err)
+		}
+		switch info.Kind {
+		case encoding.KindGenerated:
+			generated++
+			// info carries the requested problem size; the generator adds
+			// entry/exit modules on top of it.
+			if wf.NumModules() < int(info.M) {
+				t.Fatalf("record %d: %d modules for requested size %d", cr.NumRead(), wf.NumModules(), info.M)
+			}
+		case encoding.KindDAX:
+			converted++
+			if wf.NumModules() != 2 || wf.NumDependencies() != 1 {
+				t.Fatalf("converted record: %d modules, %d edges", wf.NumModules(), wf.NumDependencies())
+			}
+		default:
+			t.Fatalf("record %d: unexpected kind %d", cr.NumRead(), info.Kind)
+		}
+	}
+	if generated != 25 || converted != 1 {
+		t.Fatalf("%d generated + %d converted records", generated, converted)
 	}
 }
 

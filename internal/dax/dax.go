@@ -37,13 +37,6 @@ type Options struct {
 	InferEdges bool
 }
 
-type xmlADAG struct {
-	XMLName  xml.Name   `xml:"adag"`
-	Name     string     `xml:"name,attr"`
-	Jobs     []xmlJob   `xml:"job"`
-	Children []xmlChild `xml:"child"`
-}
-
 type xmlJob struct {
 	ID      string    `xml:"id,attr"`
 	Name    string    `xml:"name,attr"`
@@ -75,18 +68,64 @@ func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
 	if opts.DataUnit == 0 {
 		opts.DataUnit = 1_000_000
 	}
-	var doc xmlADAG
-	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, nil, fmt.Errorf("dax: decode: %w", err)
+	// Stream the document element-at-a-time: only one <job> or <child>
+	// subtree is materialized at any moment, so memory is bounded by the
+	// workflow's logical size, never the raw XML size (bulky unknown
+	// elements are skipped without buffering).
+	var (
+		docName  string
+		jobs     []xmlJob
+		children []xmlChild
+	)
+	dec := xml.NewDecoder(r)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dax: decode: %w", err)
+		}
+		switch se := tok.(type) {
+		case xml.StartElement:
+			switch {
+			case depth == 0 && se.Name.Local == "adag":
+				for _, a := range se.Attr {
+					if a.Name.Local == "name" {
+						docName = a.Value
+					}
+				}
+				depth++ // descend; jobs and children live directly below
+			case depth == 1 && se.Name.Local == "job":
+				var j xmlJob
+				if err := dec.DecodeElement(&j, &se); err != nil {
+					return nil, nil, fmt.Errorf("dax: job: %w", err)
+				}
+				jobs = append(jobs, j)
+			case depth == 1 && se.Name.Local == "child":
+				var c xmlChild
+				if err := dec.DecodeElement(&c, &se); err != nil {
+					return nil, nil, fmt.Errorf("dax: child: %w", err)
+				}
+				children = append(children, c)
+			default:
+				if err := dec.Skip(); err != nil {
+					return nil, nil, fmt.Errorf("dax: decode: %w", err)
+				}
+			}
+		case xml.EndElement:
+			depth--
+		}
 	}
-	if len(doc.Jobs) == 0 {
-		return nil, nil, fmt.Errorf("dax: %q has no jobs", doc.Name)
+	if len(jobs) == 0 {
+		return nil, nil, fmt.Errorf("dax: %q has no jobs", docName)
 	}
 
 	w := workflow.New()
-	index := make(map[string]int, len(doc.Jobs))
-	ids := make([]string, 0, len(doc.Jobs))
-	for _, j := range doc.Jobs {
+	index := make(map[string]int, len(jobs))
+	ids := make([]string, 0, len(jobs))
+	for _, j := range jobs {
 		if j.ID == "" {
 			return nil, nil, fmt.Errorf("dax: job with empty id")
 		}
@@ -112,7 +151,7 @@ func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
 	producerOf := map[string]int{}
 	sizeOf := map[string]float64{}
 	consumersOf := map[string][]int{}
-	for _, j := range doc.Jobs {
+	for _, j := range jobs {
 		ji := index[j.ID]
 		for _, u := range j.Uses {
 			if u.Size < 0 {
@@ -142,7 +181,7 @@ func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
 		}
 		edgeData[key] += bytes
 	}
-	for _, ch := range doc.Children {
+	for _, ch := range children {
 		ci, ok := index[ch.Ref]
 		if !ok {
 			return nil, nil, fmt.Errorf("dax: child ref %q unknown", ch.Ref)

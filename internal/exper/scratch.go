@@ -6,6 +6,7 @@ import (
 
 	"medcc/internal/cloud"
 	"medcc/internal/dag"
+	"medcc/internal/encoding"
 	"medcc/internal/gen"
 	"medcc/internal/sched"
 	"medcc/internal/workflow"
@@ -41,6 +42,14 @@ type campaignScratch struct {
 	times []float64
 	t     *dag.Timing
 	tver  uint64 // graph version cs.t was built against
+
+	// Corpus scratch: a per-worker binary decoder (its intern table warms
+	// up on the module/VM names of the stream) and the pooled workflow
+	// that corpus records decode into. cwf is distinct from the pooled
+	// generator's workflow — the builder owns that one, and clobbering it
+	// would corrupt the next generated instance.
+	dec encoding.Decoder
+	cwf *workflow.Workflow
 
 	// Optimality-study scratch: the paper's fixed Table I catalog and a
 	// pooled exact solver. The solver keeps Workers at 1 because the

@@ -1,0 +1,148 @@
+// Package ingest is the shared front door for workflow inputs: it
+// sniffs a stream's format (Pegasus DAX XML, WfCommons WfFormat JSON,
+// or this module's native workflow JSON) and dispatches to the
+// matching streaming reader through one buffered io.Reader path — no
+// caller ever slurps a whole file into memory to decide what it is.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"medcc/internal/dax"
+	"medcc/internal/wfcommons"
+	"medcc/internal/workflow"
+)
+
+// Format identifies a detected input format.
+type Format int
+
+const (
+	// FormatUnknown is returned with an error when detection fails.
+	FormatUnknown Format = iota
+	// FormatDAX is Pegasus DAX XML.
+	FormatDAX
+	// FormatWfCommons is WfCommons WfFormat JSON.
+	FormatWfCommons
+	// FormatWorkflowJSON is this module's native workflow JSON.
+	FormatWorkflowJSON
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatDAX:
+		return "dax"
+	case FormatWfCommons:
+		return "wfcommons"
+	case FormatWorkflowJSON:
+		return "workflow-json"
+	}
+	return "unknown"
+}
+
+// Options control the runtime/data-size mapping for converted formats;
+// semantics match packages dax and wfcommons.
+type Options struct {
+	ReferencePower float64
+	DataUnit       float64
+	InferEdges     bool
+}
+
+// sniffWindow is how far Detect peeks. Every supported format reveals
+// itself within the first few hundred bytes (the XML root element or
+// the leading JSON keys); 32 KB leaves lavish margin for metadata
+// preambles in WfCommons files.
+const sniffWindow = 1 << 15
+
+// Detect sniffs the stream's format without consuming it. The reader
+// must be the same *bufio.Reader later handed to the parser.
+func Detect(br *bufio.Reader) (Format, error) {
+	head, err := br.Peek(sniffWindow)
+	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+		return FormatUnknown, err
+	}
+	trimmed := bytes.TrimLeft(head, " \t\r\n\xef\xbb\xbf")
+	if len(trimmed) == 0 {
+		return FormatUnknown, fmt.Errorf("ingest: empty input")
+	}
+	if trimmed[0] == '<' {
+		return FormatDAX, nil
+	}
+	if trimmed[0] != '{' {
+		return FormatUnknown, fmt.Errorf("ingest: input starts with %q, not XML or JSON", trimmed[0])
+	}
+	// Both JSON dialects: the native format leads with "modules", the
+	// WfFormat with "workflow" (or schema metadata before it). Pick by
+	// first appearance inside the sniff window.
+	mi := bytes.Index(trimmed, []byte(`"modules"`))
+	wi := bytes.Index(trimmed, []byte(`"workflow"`))
+	switch {
+	case mi >= 0 && (wi < 0 || mi < wi):
+		return FormatWorkflowJSON, nil
+	case wi >= 0:
+		return FormatWfCommons, nil
+	case bytes.Contains(trimmed, []byte(`"schemaVersion"`)):
+		return FormatWfCommons, nil
+	}
+	return FormatUnknown, fmt.Errorf("ingest: JSON input has neither %q nor %q in the first %d bytes", "modules", "workflow", sniffWindow)
+}
+
+// Workflow reads one workflow from r, detecting the format and parsing
+// through the matching streaming reader. The returned IDs are task IDs
+// in module-index order for converted formats, nil for native JSON.
+func Workflow(r io.Reader, opts Options) (*workflow.Workflow, []string, Format, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	f, err := Detect(br)
+	if err != nil {
+		return nil, nil, f, err
+	}
+	switch f {
+	case FormatDAX:
+		w, ids, err := dax.Parse(br, dax.Options{
+			ReferencePower: opts.ReferencePower, DataUnit: opts.DataUnit, InferEdges: opts.InferEdges})
+		return w, ids, f, err
+	case FormatWfCommons:
+		w, ids, err := wfcommons.Parse(br, wfcommons.Options{
+			ReferencePower: opts.ReferencePower, DataUnit: opts.DataUnit})
+		return w, ids, f, err
+	default:
+		w := workflow.New()
+		if err := json.NewDecoder(br).Decode(w); err != nil {
+			return nil, nil, f, fmt.Errorf("ingest: workflow JSON: %w", err)
+		}
+		return w, nil, f, nil
+	}
+}
+
+// File opens path and reads the workflow it contains via Workflow.
+func File(path string, opts Options) (*workflow.Workflow, []string, Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, FormatUnknown, err
+	}
+	defer f.Close()
+	return Workflow(bufio.NewReaderSize(f, 1<<16), opts)
+}
+
+// JSONFile streams one JSON value out of a file — the bounded-memory
+// replacement for the os.ReadFile + Unmarshal idiom.
+func JSONFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<16))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func detect(t *testing.T, input string) (Format, error) {
+	t.Helper()
+	return Detect(bufio.NewReader(strings.NewReader(input)))
+}
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  Format
+	}{
+		{"dax", `<?xml version="1.0"?><adag name="x"/>`, FormatDAX},
+		{"dax-bom-ws", "\xef\xbb\xbf  <adag/>", FormatDAX},
+		{"native", `{"modules": [], "edges": []}`, FormatWorkflowJSON},
+		{"wfcommons", `{"name": "x", "workflow": {"jobs": []}}`, FormatWfCommons},
+		{"wfcommons-schema", `{"schemaVersion": "1.4"}`, FormatWfCommons},
+		{"both-keys-native-first", `{"modules": [], "workflow": 1}`, FormatWorkflowJSON},
+		{"both-keys-wf-first", `{"workflow": {"tasks": []}, "modules": 1}`, FormatWfCommons},
+	}
+	for _, tc := range cases {
+		got, err := detect(t, tc.input)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: detected %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	for _, input := range []string{"", "   \n\t", "plain text", `{"neither": 1}`} {
+		if f, err := detect(t, input); err == nil {
+			t.Fatalf("input %q detected as %v, want error", input, f)
+		}
+	}
+}
+
+// TestWorkflowDispatch checks that each detected format reaches its
+// parser and yields the same logical workflow.
+func TestWorkflowDispatch(t *testing.T) {
+	inputs := map[string]string{
+		"dax": `<?xml version="1.0"?>
+<adag name="t">
+  <job id="a" runtime="3"/>
+  <job id="b" runtime="5"/>
+  <child ref="b"><parent ref="a"/></child>
+</adag>`,
+		"wfcommons": `{"name": "t", "workflow": {"jobs": [
+  {"id": "a", "runtime": 3, "children": ["b"]},
+  {"id": "b", "runtime": 5, "parents": ["a"]}
+]}}`,
+		"native": `{"modules": [{"name": "a", "workload": 3}, {"name": "b", "workload": 5}],
+  "edges": [{"from": 0, "to": 1, "data_size": 0}]}`,
+	}
+	for name, input := range inputs {
+		w, _, _, err := Workflow(strings.NewReader(input), Options{ReferencePower: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.NumModules() != 2 || w.NumDependencies() != 1 {
+			t.Fatalf("%s: %d modules, %d edges", name, w.NumModules(), w.NumDependencies())
+		}
+	}
+}

@@ -29,19 +29,22 @@ type Options struct {
 	DataUnit float64
 }
 
+// document accumulates the streamed pieces of a WfFormat file; the
+// arrays are filled one element at a time by the token walker, so only
+// the workflow's logical content is ever held — never the raw JSON.
 type document struct {
-	Name     string `json:"name"`
+	Name     string
 	Workflow struct {
-		Jobs          []flatTask `json:"jobs"`
-		Tasks         []flatTask `json:"tasks"`
+		Jobs          []flatTask
+		Tasks         []flatTask
 		Specification struct {
-			Tasks []specTask `json:"tasks"`
-			Files []specFile `json:"files"`
-		} `json:"specification"`
+			Tasks []specTask
+			Files []specFile
+		}
 		Execution struct {
-			Tasks []execTask `json:"tasks"`
-		} `json:"execution"`
-	} `json:"workflow"`
+			Tasks []execTask
+		}
+	}
 }
 
 type flatTask struct {
@@ -101,7 +104,7 @@ func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
 		opts.DataUnit = 1_000_000
 	}
 	var doc document
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+	if err := streamDocument(json.NewDecoder(r), &doc); err != nil {
 		return nil, nil, fmt.Errorf("wfcommons: decode: %w", err)
 	}
 
@@ -117,6 +120,127 @@ func Parse(r io.Reader, opts Options) (*workflow.Workflow, []string, error) {
 		return nil, nil, fmt.Errorf("wfcommons: %q has no tasks", doc.Name)
 	}
 	return build(tasks, opts)
+}
+
+// streamDocument walks the top-level JSON with a token cursor, decoding
+// the task/file arrays one element at a time (json.Decoder.More +
+// per-element Decode) and skipping everything else without buffering.
+// Peak memory is one element plus the accumulated logical arrays —
+// bounded even when the instance file carries megabytes of metadata the
+// mapping ignores.
+func streamDocument(dec *json.Decoder, doc *document) error {
+	return walkObject(dec, func(key string) error {
+		switch key {
+		case "name":
+			return decodeInto(dec, &doc.Name)
+		case "workflow":
+			return walkObject(dec, func(key string) error {
+				switch key {
+				case "jobs":
+					return decodeArray(dec, &doc.Workflow.Jobs)
+				case "tasks":
+					return decodeArray(dec, &doc.Workflow.Tasks)
+				case "specification":
+					return walkObject(dec, func(key string) error {
+						switch key {
+						case "tasks":
+							return decodeArray(dec, &doc.Workflow.Specification.Tasks)
+						case "files":
+							return decodeArray(dec, &doc.Workflow.Specification.Files)
+						}
+						return skipValue(dec)
+					})
+				case "execution":
+					return walkObject(dec, func(key string) error {
+						if key == "tasks" {
+							return decodeArray(dec, &doc.Workflow.Execution.Tasks)
+						}
+						return skipValue(dec)
+					})
+				}
+				return skipValue(dec)
+			})
+		}
+		return skipValue(dec)
+	})
+}
+
+// walkObject consumes one JSON object, invoking visit after each key
+// with the decoder positioned on the key's value. visit must consume
+// exactly that value.
+func walkObject(dec *json.Decoder, visit func(key string) error) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok != json.Delim('{') {
+		return fmt.Errorf("expected object, found %v", tok)
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return fmt.Errorf("expected object key, found %v", tok)
+		}
+		if err := visit(key); err != nil {
+			return err
+		}
+	}
+	_, err = dec.Token() // closing '}'
+	return err
+}
+
+// decodeArray consumes one JSON array, decoding each element into *dst
+// element-at-a-time.
+func decodeArray[T any](dec *json.Decoder, dst *[]T) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok == nil { // JSON null: leave dst unset
+		return nil
+	}
+	if tok != json.Delim('[') {
+		return fmt.Errorf("expected array, found %v", tok)
+	}
+	for dec.More() {
+		var v T
+		if err := dec.Decode(&v); err != nil {
+			return err
+		}
+		*dst = append(*dst, v)
+	}
+	_, err = dec.Token() // closing ']'
+	return err
+}
+
+// decodeInto decodes one scalar value in place.
+func decodeInto[T any](dec *json.Decoder, dst *T) error {
+	return dec.Decode(dst)
+}
+
+// skipValue consumes one JSON value of any shape without materializing
+// it: delimiter tokens are counted, scalars are single tokens.
+func skipValue(dec *json.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch tok {
+		case json.Delim('{'), json.Delim('['):
+			depth++
+		case json.Delim('}'), json.Delim(']'):
+			depth--
+		}
+		if depth == 0 {
+			return nil
+		}
+	}
 }
 
 func fromFlat(in []flatTask) []unified {

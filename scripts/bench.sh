@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")/.."
 COUNT="${COUNT:-5}"
 PATTERN="${PATTERN:-.}"
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_5.json}"
 TMP=".bench.raw.$$"
 trap 'rm -f "$TMP"' EXIT INT TERM
 

@@ -21,18 +21,18 @@ test:
 	$(GO) test ./...
 
 # Full benchmark sweep, 5 repetitions per name, distilled into
-# BENCH_5.json (see scripts/bench.sh for knobs).
+# BENCH_6.json (see scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
 
 # Run a fresh sweep into an uncommitted candidate snapshot and fail when
 # any benchmark present in both regressed against the committed
-# BENCH_5.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
+# BENCH_6.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
 # any allocs/op increase (MAX_ALLOC_DELTA, default 0). Re-record the
 # baseline with `make bench` when a change is intentional.
 bench-check:
 	scripts/bench.sh .bench.candidate.json
-	scripts/bench_compare.sh BENCH_5.json .bench.candidate.json
+	scripts/bench_compare.sh BENCH_6.json .bench.candidate.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:
@@ -41,13 +41,19 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
-# Short fuzz sessions over the input parsers and the binary container.
+# Short fuzz sessions over the input parsers, the binary container,
+# and the serving API.
 fuzz:
 	$(GO) test -fuzz=FuzzWorkflowJSON -fuzztime=30s ./internal/workflow/
 	$(GO) test -fuzz=FuzzGraphJSON -fuzztime=30s ./internal/dag/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/dax/
 	$(GO) test -fuzz=FuzzDecodeCorpus -fuzztime=30s ./internal/encoding/
 	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/encoding/
+	$(GO) test -fuzz=FuzzServeRequest -fuzztime=30s ./internal/serve/
+
+# End-to-end smoke of the serving stack (race-built binaries).
+serve-smoke:
+	scripts/serve_smoke.sh
 
 cover:
 	$(GO) test -cover ./...

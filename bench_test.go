@@ -12,7 +12,11 @@ import (
 	"encoding/json"
 	"io"
 	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"medcc/internal/cloud"
 	"medcc/internal/dag"
@@ -20,7 +24,9 @@ import (
 	"medcc/internal/exper"
 	"medcc/internal/gen"
 	"medcc/internal/sched"
+	"medcc/internal/serve"
 	"medcc/internal/sim"
+	"medcc/internal/stats"
 	"medcc/internal/testbed"
 	"medcc/internal/workflow"
 	"medcc/internal/wrf"
@@ -460,5 +466,85 @@ func BenchmarkCorpusIngestJSON(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// --- serving: cmd/medcc-serve's worker pool over HTTP ---
+
+// BenchmarkServeSchedule is the in-process serving hot path: a warm
+// named-pair request through admission, the worker round trip, and the
+// pooled response fill. Steady state must stay at 0 allocs/op (gated by
+// scripts/bench_compare.sh, MAX_ALLOC_DELTA=0).
+func BenchmarkServeSchedule(b *testing.B) {
+	s, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	p := serve.Params{WorkflowRef: "example", CatalogRef: "paper", UseFraction: true, Fraction: 0.5}
+	var res serve.Result
+	for i := 0; i < 3; i++ { // warm pools, engines, timing
+		if err := s.Schedule(p, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Schedule(p, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeThroughput drives the full HTTP serving path — decode,
+// admission, batched scheduling, JSON response — with GOMAXPROCS
+// closed-loop clients, and reports the p50/p99 request latency as
+// custom metrics alongside ns/op (captured into the BENCH_6.json
+// snapshot by scripts/bench.sh).
+func BenchmarkServeThroughput(b *testing.B) {
+	s, err := serve.New(serve.Config{QueueDepth: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/schedule?workflow=example&catalog=paper&budget_fraction=0.5"
+	client := ts.Client()
+	do := func() time.Duration {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", nil)
+		if err != nil {
+			b.Error(err)
+			return 0
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(t0)
+	}
+	for i := 0; i < 8; i++ {
+		do() // warm pools and connections
+	}
+	var mu sync.Mutex
+	lats := make([]float64, 0, b.N)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]float64, 0, 1024)
+		for pb.Next() {
+			local = append(local, float64(do().Nanoseconds()))
+		}
+		mu.Lock()
+		lats = append(lats, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		b.ReportMetric(stats.Percentile(lats, 50), "p50-ns")
+		b.ReportMetric(stats.Percentile(lats, 99), "p99-ns")
 	}
 }

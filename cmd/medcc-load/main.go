@@ -1,0 +1,221 @@
+// Command medcc-load is a closed-loop load generator for medcc-serve:
+// it prebuilds request bodies from a binary workflow corpus (see
+// cmd/wfgen -corpus), drives the /schedule endpoint from -c concurrent
+// clients until -n requests have succeeded, and reports throughput and
+// the p50/p99/p999 latency quantiles.
+//
+// Usage:
+//
+//	wfgen -corpus corpus.medc -count 64 -seed 1
+//	medcc-load -url http://localhost:8080 -corpus corpus.medc -n 1000 -c 8
+//
+// Each corpus instance is re-encoded as a standalone container body
+// (workflow + inline catalog), so the server needs no preloaded
+// library. 429 backpressure responses are retried and counted, not
+// treated as errors; any other non-200 status fails the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medcc/internal/encoding"
+	"medcc/internal/stats"
+	"medcc/internal/workflow"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "medcc-load:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the run summary, printed as text or JSON.
+type report struct {
+	Requests   int     `json:"requests"`
+	Clients    int     `json:"clients"`
+	Bodies     int     `json:"bodies"`
+	Seconds    float64 `json:"seconds"`
+	PerSecond  float64 `json:"per_second"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	Retries429 int64   `json:"retries_429"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("medcc-load", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "http://localhost:8080", "base URL of a running medcc-serve")
+		corpus   = fs.String("corpus", "", "binary workflow corpus to draw request bodies from (required)")
+		n        = fs.Int("n", 1000, "total requests")
+		c        = fs.Int("c", 4, "concurrent closed-loop clients")
+		maxBody  = fs.Int("instances", 64, "cap on distinct corpus instances to prebuild (cycled round-robin)")
+		frac     = fs.Float64("budget", 0.5, "budget as a fraction of each instance's feasible range")
+		alg      = fs.String("alg", "", "algorithm name (server default when empty)")
+		simulate = fs.Bool("simulate", false, "request simulated traces")
+		asJSON   = fs.Bool("json", false, "print the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpus == "" {
+		return fmt.Errorf("-corpus is required")
+	}
+	if *n <= 0 || *c <= 0 || *maxBody <= 0 {
+		return fmt.Errorf("-n, -c, and -instances must be positive")
+	}
+
+	bodies, err := prebuild(*corpus, *maxBody)
+	if err != nil {
+		return err
+	}
+	target := fmt.Sprintf("%s/schedule?budget_fraction=%g", *url, *frac)
+	if *alg != "" {
+		target += "&algorithm=" + *alg
+	}
+	if *simulate {
+		target += "&simulate=true"
+	}
+
+	var (
+		next    atomic.Int64 // request tickets; body i%len(bodies)
+		retries atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    = make([]float64, 0, *n) // seconds, one per success
+		runErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for k := 0; k < *c; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*n) {
+					return
+				}
+				body := bodies[i%int64(len(bodies))]
+				for {
+					t0 := time.Now()
+					status, err := post(client, target, body)
+					lat := time.Since(t0).Seconds()
+					if err != nil {
+						fail(err)
+						return
+					}
+					if status == http.StatusTooManyRequests {
+						retries.Add(1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if status != http.StatusOK {
+						fail(fmt.Errorf("request %d: status %d", i, status))
+						return
+					}
+					mu.Lock()
+					lats = append(lats, lat)
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if runErr != nil {
+		return runErr
+	}
+
+	sort.Float64s(lats)
+	rep := report{
+		Requests: len(lats), Clients: *c, Bodies: len(bodies),
+		Seconds: elapsed, PerSecond: float64(len(lats)) / elapsed,
+		P50Ms:      stats.Percentile(lats, 50) * 1e3,
+		P99Ms:      stats.Percentile(lats, 99) * 1e3,
+		P999Ms:     stats.Percentile(lats, 99.9) * 1e3,
+		Retries429: retries.Load(),
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(stdout, "%d requests, %d clients, %d bodies: %.0f schedules/sec (%.2fs total)\n",
+		rep.Requests, rep.Clients, rep.Bodies, rep.PerSecond, rep.Seconds)
+	fmt.Fprintf(stdout, "latency p50 %.3fms  p99 %.3fms  p999 %.3fms  (429 retries: %d)\n",
+		rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.Retries429)
+	return nil
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// prebuild reads up to max corpus instances and re-encodes each as a
+// standalone single-record container (workflow + inline catalog):
+// corpus-internal catalog refs are stream positional and mean nothing
+// to the server, so every body carries its catalog.
+func prebuild(path string, max int) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr, err := encoding.NewCorpusReader(f)
+	if err != nil {
+		return nil, err
+	}
+	var bodies [][]byte
+	wf := workflow.New()
+	var b encoding.RecordBuilder
+	for len(bodies) < max {
+		cat, _, err := cr.Next(wf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Begin()
+		if err := b.Workflow(wf); err != nil {
+			return nil, err
+		}
+		if err := b.Catalog(cat); err != nil {
+			return nil, err
+		}
+		body, err := b.AppendRecord(encoding.AppendHeader(nil, 1), false)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("corpus %s holds no instances", path)
+	}
+	return bodies, nil
+}

@@ -186,4 +186,3 @@ func run(args []string) error {
 	}
 	return nil
 }
-

@@ -107,3 +107,31 @@ func (h *candHeap) pushFresh(k float64, mod int32) {
 	h.entries = fresh
 	h.keys = make([]float64, len(fresh)) // want "make allocates"
 }
+
+// servReq mirrors a pooled serving request: the schedule buffer and the
+// response fields live for the job's lifetime and are recycled.
+type servReq struct {
+	sched    []int
+	makespan float64
+	note     string
+}
+
+// serveWarm is the correct request hot path — self-append into the
+// pooled schedule, scalar field fills — so the walk reports nothing.
+//
+// medcc:allocfree
+func serveWarm(r *servReq, src []int, med float64) {
+	r.sched = append(r.sched[:0], src...)
+	r.makespan = med
+}
+
+// serveAllocating seeds the request-hot-path violation: building a
+// fresh response per request instead of filling the pooled one.
+//
+// medcc:allocfree
+func serveAllocating(src []int, med float64) *servReq {
+	out := make([]int, len(src))             // want "make allocates"
+	r := &servReq{sched: out, makespan: med} // want "address-taken composite literal escapes to the heap"
+	r.note = "served " + r.note              // want "string concatenation allocates"
+	return r
+}

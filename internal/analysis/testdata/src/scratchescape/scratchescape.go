@@ -65,3 +65,31 @@ func shareHeap() {
 	ch := make(chan *candHeap)
 	ch <- &h // want "scratch type candHeap sent on a channel"
 }
+
+// servWorker mirrors the serving pool's per-goroutine scratch: engines
+// and timing state owned by exactly one worker goroutine. Jobs cross
+// the queue; workers never do.
+//
+// medcc:scratch
+type servWorker struct {
+	times []float64
+}
+
+func (w *servWorker) serve() {}
+
+// leakWorker seeds the serving-pool violation: returning a worker's
+// scratch through a result channel hands one goroutine's pooled state
+// to whichever goroutine receives, racing the owner's next request.
+func leakWorker(results chan *servWorker) {
+	var w servWorker
+	w.serve()
+	results <- &w // want "scratch type servWorker sent on a channel"
+}
+
+// dispatch is the sanctioned serving shape: the pool is indexed, each
+// goroutine dereferences its own element, and only indices cross the
+// spawn boundary.
+func dispatch() {
+	pool := make([]servWorker, 2)
+	launch(len(pool), func(k int) { pool[k].serve() })
+}

@@ -206,17 +206,17 @@ func (cr *CorpusReader) NextRaw() (Record, cloud.Catalog, InstanceInfo, error) {
 	}
 	rec, err := ParseRecord(cr.body)
 	if err != nil {
-		return Record{}, nil, InstanceInfo{}, err
+		return Record{}, nil, InstanceInfo{}, fmt.Errorf("encoding: record %d: %w", cr.read, err)
 	}
 	cat, err := cr.resolveCatalog(rec)
 	if err != nil {
-		return Record{}, nil, InstanceInfo{}, err
+		return Record{}, nil, InstanceInfo{}, fmt.Errorf("encoding: record %d catalog: %w", cr.read, err)
 	}
 	info := InstanceInfo{}
 	if i := rec.Find(ChunkInstanceInfo); i >= 0 {
 		info, err = cr.dec.InstanceInfo(rec, i)
 		if err != nil {
-			return Record{}, nil, InstanceInfo{}, err
+			return Record{}, nil, InstanceInfo{}, fmt.Errorf("encoding: record %d instance info: %w", cr.read, err)
 		}
 	}
 	cr.read++
@@ -270,7 +270,7 @@ func (cr *CorpusReader) Next(wf *workflow.Workflow) (cloud.Catalog, InstanceInfo
 		return nil, InstanceInfo{}, fmt.Errorf("encoding: record %d has no workflow chunk", cr.read-1)
 	}
 	if err := cr.dec.WorkflowInto(rec, i, wf); err != nil {
-		return nil, InstanceInfo{}, err
+		return nil, InstanceInfo{}, fmt.Errorf("encoding: record %d workflow: %w", cr.read-1, err)
 	}
 	return cat, info, nil
 }

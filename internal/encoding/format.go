@@ -171,19 +171,20 @@ func ParseRecord(body []byte) (Record, error) {
 	}
 	for i := uint64(0); i < uint64(n); i++ {
 		e := body[4+i*chunkEntryLen:]
+		typ := ChunkType(binary.LittleEndian.Uint32(e))
 		off := uint64(binary.LittleEndian.Uint32(e[8:]))
 		stored := uint64(binary.LittleEndian.Uint32(e[12:]))
 		if off < tableEnd || off+stored > uint64(len(body)) {
-			return Record{}, fmt.Errorf("encoding: chunk %d payload [%d,%d) outside record body [%d,%d)",
-				i, off, off+stored, tableEnd, len(body))
+			return Record{}, fmt.Errorf("encoding: chunk %d (%v) payload [%d,%d) outside record body [%d,%d)",
+				i, typ, off, off+stored, tableEnd, len(body))
 		}
 		flags := binary.LittleEndian.Uint32(e[4:])
 		if flags&^uint32(chunkFlagDeflate) != 0 {
-			return Record{}, fmt.Errorf("encoding: chunk %d has unsupported flags %#x", i, flags)
+			return Record{}, fmt.Errorf("encoding: chunk %d (%v) has unsupported flags %#x", i, typ, flags)
 		}
 		raw := binary.LittleEndian.Uint32(e[16:])
 		if flags&chunkFlagDeflate == 0 && uint64(raw) != stored {
-			return Record{}, fmt.Errorf("encoding: chunk %d raw length %d != stored length %d without compression", i, raw, stored)
+			return Record{}, fmt.Errorf("encoding: chunk %d (%v) raw length %d != stored length %d without compression", i, typ, raw, stored)
 		}
 	}
 	return Record{body: body, n: int(n)}, nil

@@ -9,13 +9,35 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"medcc/internal/dax"
+	"medcc/internal/encoding"
 	"medcc/internal/wfcommons"
 	"medcc/internal/workflow"
+)
+
+// Typed sniffing errors. Servers branch on these with errors.Is to map
+// malformed inputs onto precise client-facing failures instead of one
+// generic "bad input"; every Detect failure wraps exactly one of them.
+var (
+	// ErrEmpty marks an input that is empty (or all whitespace/BOM).
+	ErrEmpty = errors.New("ingest: empty input")
+	// ErrTruncatedMagic marks an input that is a strict prefix of the
+	// binary container magic — a container cut off inside its header.
+	ErrTruncatedMagic = errors.New("ingest: truncated container magic")
+	// ErrUnknownFormat marks an input that is neither XML, JSON, nor a
+	// binary container.
+	ErrUnknownFormat = errors.New("ingest: unrecognized input format")
+	// ErrAmbiguousJSON marks JSON that matches no known workflow
+	// dialect (neither native "modules" nor WfCommons "workflow").
+	ErrAmbiguousJSON = errors.New("ingest: JSON matches no known workflow dialect")
+	// ErrNoWorkflowChunk marks a binary-container record that carries
+	// no workflow chunk (wrong chunk types for a workflow input).
+	ErrNoWorkflowChunk = errors.New("ingest: container record has no workflow chunk")
 )
 
 // Format identifies a detected input format.
@@ -30,6 +52,9 @@ const (
 	FormatWfCommons
 	// FormatWorkflowJSON is this module's native workflow JSON.
 	FormatWorkflowJSON
+	// FormatContainer is this module's binary container ("MEDC" magic,
+	// package encoding) — a single-instance file or a corpus stream.
+	FormatContainer
 )
 
 // String names the format.
@@ -41,6 +66,8 @@ func (f Format) String() string {
 		return "wfcommons"
 	case FormatWorkflowJSON:
 		return "workflow-json"
+	case FormatContainer:
+		return "container"
 	}
 	return "unknown"
 }
@@ -59,6 +86,10 @@ type Options struct {
 // preambles in WfCommons files.
 const sniffWindow = 1 << 15
 
+// leadCutset is what Detect skips before classifying: whitespace plus
+// the bytes of a UTF-8 BOM.
+const leadCutset = " \t\r\n\xef\xbb\xbf"
+
 // Detect sniffs the stream's format without consuming it. The reader
 // must be the same *bufio.Reader later handed to the parser.
 func Detect(br *bufio.Reader) (Format, error) {
@@ -66,15 +97,23 @@ func Detect(br *bufio.Reader) (Format, error) {
 	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
 		return FormatUnknown, err
 	}
-	trimmed := bytes.TrimLeft(head, " \t\r\n\xef\xbb\xbf")
+	trimmed := bytes.TrimLeft(head, leadCutset)
 	if len(trimmed) == 0 {
-		return FormatUnknown, fmt.Errorf("ingest: empty input")
+		return FormatUnknown, ErrEmpty
+	}
+	if bytes.HasPrefix(trimmed, []byte(encoding.Magic)) {
+		return FormatContainer, nil
+	}
+	if bytes.HasPrefix([]byte(encoding.Magic), trimmed) {
+		// Strict prefix of "MEDC": a container whose stream ended
+		// inside the magic, not an unrecognized format.
+		return FormatUnknown, fmt.Errorf("%w: got %q of %q", ErrTruncatedMagic, trimmed, encoding.Magic)
 	}
 	if trimmed[0] == '<' {
 		return FormatDAX, nil
 	}
 	if trimmed[0] != '{' {
-		return FormatUnknown, fmt.Errorf("ingest: input starts with %q, not XML or JSON", trimmed[0])
+		return FormatUnknown, fmt.Errorf("%w: input starts with %q, not XML, JSON, or %q", ErrUnknownFormat, trimmed[0], encoding.Magic)
 	}
 	// Both JSON dialects: the native format leads with "modules", the
 	// WfFormat with "workflow" (or schema metadata before it). Pick by
@@ -89,7 +128,22 @@ func Detect(br *bufio.Reader) (Format, error) {
 	case bytes.Contains(trimmed, []byte(`"schemaVersion"`)):
 		return FormatWfCommons, nil
 	}
-	return FormatUnknown, fmt.Errorf("ingest: JSON input has neither %q nor %q in the first %d bytes", "modules", "workflow", sniffWindow)
+	return FormatUnknown, fmt.Errorf("%w: neither %q nor %q in the first %d bytes", ErrAmbiguousJSON, "modules", "workflow", sniffWindow)
+}
+
+// SkipLead consumes the leading whitespace/BOM bytes Detect ignored, so
+// the parser sees the stream from its first significant byte. The JSON
+// decoders in particular reject a UTF-8 BOM that sniffing tolerated.
+func SkipLead(br *bufio.Reader) error {
+	for {
+		b, err := br.Peek(1)
+		if err != nil || bytes.IndexByte([]byte(leadCutset), b[0]) < 0 {
+			return err
+		}
+		if _, err := br.Discard(1); err != nil {
+			return err
+		}
+	}
 }
 
 // Workflow reads one workflow from r, detecting the format and parsing
@@ -104,7 +158,13 @@ func Workflow(r io.Reader, opts Options) (*workflow.Workflow, []string, Format, 
 	if err != nil {
 		return nil, nil, f, err
 	}
+	if err := SkipLead(br); err != nil {
+		return nil, nil, f, fmt.Errorf("ingest: %w", err)
+	}
 	switch f {
+	case FormatContainer:
+		w, err := containerWorkflow(br)
+		return w, nil, f, err
 	case FormatDAX:
 		w, ids, err := dax.Parse(br, dax.Options{
 			ReferencePower: opts.ReferencePower, DataUnit: opts.DataUnit, InferEdges: opts.InferEdges})
@@ -120,6 +180,48 @@ func Workflow(r io.Reader, opts Options) (*workflow.Workflow, []string, Format, 
 		}
 		return w, nil, f, nil
 	}
+}
+
+// containerWorkflow decodes the first record of a binary container into
+// a fresh workflow. A record without a workflow chunk — a trace- or
+// schedule-only container handed to a workflow entry point — yields
+// ErrNoWorkflowChunk naming the chunk types actually present.
+func containerWorkflow(br *bufio.Reader) (*workflow.Workflow, error) {
+	cr, err := encoding.NewCorpusReader(br)
+	if err != nil {
+		return nil, err
+	}
+	rec, _, _, err := cr.NextRaw()
+	if err == io.EOF {
+		return nil, fmt.Errorf("%w: container has no records", ErrNoWorkflowChunk)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rec.Find(encoding.ChunkWorkflow) < 0 {
+		return nil, fmt.Errorf("%w: record 0 carries %s", ErrNoWorkflowChunk, chunkTypes(rec))
+	}
+	w := workflow.New()
+	var dec encoding.Decoder
+	if err := dec.WorkflowInto(rec, rec.Find(encoding.ChunkWorkflow), w); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// chunkTypes renders a record's chunk-type list for error messages.
+func chunkTypes(rec encoding.Record) string {
+	if rec.NumChunks() == 0 {
+		return "no chunks"
+	}
+	var b bytes.Buffer
+	for i := 0; i < rec.NumChunks(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v", rec.Type(i))
+	}
+	return b.String()
 }
 
 // File opens path and reads the workflow it contains via Workflow.

@@ -2,8 +2,13 @@ package ingest
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"medcc/internal/encoding"
+	"medcc/internal/workflow"
 )
 
 func detect(t *testing.T, input string) (Format, error) {
@@ -41,6 +46,109 @@ func TestDetectErrors(t *testing.T) {
 		if f, err := detect(t, input); err == nil {
 			t.Fatalf("input %q detected as %v, want error", input, f)
 		}
+	}
+}
+
+// TestDetectTypedErrors pins the error taxonomy the server relies on:
+// each malformed-input class maps to its own sentinel, matchable with
+// errors.Is, never a generic error.
+func TestDetectTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"empty", "", ErrEmpty},
+		{"whitespace-only", "  \n\t", ErrEmpty},
+		{"bom-only", "\xef\xbb\xbf", ErrEmpty},
+		{"truncated-magic-1", "M", ErrTruncatedMagic},
+		{"truncated-magic-3", "MED", ErrTruncatedMagic},
+		{"not-a-format", "plain text", ErrUnknownFormat},
+		{"binary-junk", "\x00\x01\x02", ErrUnknownFormat},
+		{"json-no-dialect", `{"neither": 1}`, ErrAmbiguousJSON},
+	}
+	for _, tc := range cases {
+		f, err := detect(t, tc.input)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Detect = (%v, %v), want errors.Is(err, %v)", tc.name, f, err, tc.want)
+		}
+	}
+	// "MEDCAL" shares a 4-byte prefix with the magic and must detect as
+	// a container (header validation rejects it later, with context).
+	if f, err := detect(t, "MEDCAL"); err != nil || f != FormatContainer {
+		t.Fatalf("MEDC-prefixed input: Detect = (%v, %v), want container", f, err)
+	}
+}
+
+// TestWorkflowJSONWithBOM checks the fix for the sniff/parse asymmetry:
+// Detect tolerated a UTF-8 BOM but the JSON decoder then choked on it.
+func TestWorkflowJSONWithBOM(t *testing.T) {
+	for name, input := range map[string]string{
+		"native":    "\xef\xbb\xbf" + `{"modules": [{"name": "a", "workload": 3}], "edges": []}`,
+		"wfcommons": "\xef\xbb\xbf" + `{"name": "t", "workflow": {"jobs": [{"id": "a", "runtime": 3}]}}`,
+	} {
+		w, _, _, err := Workflow(strings.NewReader(input), Options{ReferencePower: 1})
+		if err != nil {
+			t.Fatalf("%s with BOM: %v", name, err)
+		}
+		if w.NumModules() != 1 {
+			t.Fatalf("%s with BOM: %d modules, want 1", name, w.NumModules())
+		}
+	}
+}
+
+// TestWorkflowContainer round-trips a workflow through the binary
+// container and back in via the sniffing front door.
+func TestWorkflowContainer(t *testing.T) {
+	src, _ := workflow.PaperExample()
+	var rb encoding.RecordBuilder
+	rb.Begin()
+	if err := rb.Workflow(src); err != nil {
+		t.Fatal(err)
+	}
+	buf := encoding.AppendHeader(nil, 1)
+	buf, err := rb.AppendRecord(buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, f, err := Workflow(bytes.NewReader(buf), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != FormatContainer {
+		t.Fatalf("format = %v, want container", f)
+	}
+	if w.NumModules() != src.NumModules() || w.NumDependencies() != src.NumDependencies() {
+		t.Fatalf("container round-trip: %d modules/%d edges, want %d/%d",
+			w.NumModules(), w.NumDependencies(), src.NumModules(), src.NumDependencies())
+	}
+}
+
+// TestWorkflowContainerWrongChunk checks that a well-formed container
+// whose first record has no workflow chunk yields the typed sentinel
+// (naming what the record does carry), not a generic decode error.
+func TestWorkflowContainerWrongChunk(t *testing.T) {
+	var rb encoding.RecordBuilder
+	rb.Begin()
+	rb.Schedule(workflow.Schedule{0, 1, 2})
+	buf := encoding.AppendHeader(nil, 1)
+	buf, err := rb.AppendRecord(buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = Workflow(bytes.NewReader(buf), Options{})
+	if !errors.Is(err, ErrNoWorkflowChunk) {
+		t.Fatalf("schedule-only container: err = %v, want ErrNoWorkflowChunk", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "schedule") {
+		t.Fatalf("error should name the chunk types present, got %v", err)
+	}
+
+	// Empty container: records exhausted before any workflow.
+	empty := encoding.AppendHeader(nil, 0)
+	_, _, _, err = Workflow(bytes.NewReader(empty), Options{})
+	if !errors.Is(err, ErrNoWorkflowChunk) {
+		t.Fatalf("empty container: err = %v, want ErrNoWorkflowChunk", err)
 	}
 }
 

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"medcc/internal/workflow"
+)
+
+// fuzzSrv is built once per fuzz process: the target exercises request
+// decoding, not server construction.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler(f *testing.F) http.Handler {
+	fuzzOnce.Do(func() {
+		s, err := New(Config{Workers: 2})
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv.Handler()
+}
+
+// FuzzServeRequest feeds arbitrary bodies and query strings through the
+// /schedule endpoint: malformed input must map to a 4xx status, never a
+// panic or a 5xx.
+func FuzzServeRequest(f *testing.F) {
+	w, cat := workflow.PaperExample()
+	golden, err := json.Marshal(map[string]any{
+		"workflow": w, "catalog": cat, "budget_fraction": 0.5,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	refs, err := json.Marshal(map[string]any{
+		"workflow_ref": "example", "catalog_ref": "paper", "budget": 100.0, "simulate": true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("budget=100", []byte{})
+	f.Add("", golden)
+	f.Add("algorithm=critical-greedy", refs)
+	f.Add("budget_fraction=0.5", containerBody(f, w, cat))
+	f.Add("catalog=paper&budget=10", []byte("MED"))
+	f.Add("workflow=example&catalog=paper&budget=1e308", []byte(nil))
+	f.Add("budget=100", []byte(`{"workflow":{"modules":[{"name":"a"`))
+	f.Add("budget=nan&workflow=example&catalog=paper", []byte("\xef\xbb\xbf{}"))
+
+	h := fuzzHandler(f)
+	f.Fuzz(func(t *testing.T, query string, body []byte) {
+		// Set RawQuery directly: the server must survive any query
+		// string the transport would deliver, including ones the
+		// httptest target parser itself rejects.
+		req := httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(body))
+		req.URL.RawQuery = query
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req) // must not panic
+		if rw.Code >= 500 {
+			t.Fatalf("query %q body %q: status %d: %s", query, body, rw.Code, rw.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips allocation-count assertions: the race runtime
+// instruments channel and sync operations with its own allocations.
+const raceEnabled = true

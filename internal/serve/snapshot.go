@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"medcc/internal/cloud"
+	"medcc/internal/ingest"
+	"medcc/internal/workflow"
+)
+
+// Snapshot is an immutable, versioned view of the server's loaded
+// catalog and workflow libraries, in the style of a config-watcher
+// daemon: requests pin the snapshot current at admission time, a reload
+// builds a complete replacement off to the side and publishes it with
+// one atomic pointer swap. In-flight requests keep reading their pinned
+// snapshot; nothing under an already-published Snapshot is ever
+// mutated, so concurrent readers need no locks.
+//
+// For every (workflow, catalog) pair the snapshot eagerly prebuilds the
+// scheduling matrices (including the dominance-pruned option tables and
+// the feasible budget range) and warms the workflow's cached topo
+// order/CSR adjacency, so serving a named pair binds no per-request
+// state and is safe for any number of workers simultaneously.
+type Snapshot struct {
+	// Version increments on every successful reload, starting at 1.
+	Version uint64
+	// Catalogs and Workflows are the named libraries. Entries must be
+	// treated as read-only.
+	Catalogs  map[string]cloud.Catalog
+	Workflows map[string]*workflow.Workflow
+
+	pairs map[pairKey]*pairEntry
+
+	catNames, wfNames []string // sorted, for listings
+}
+
+type pairKey struct{ wf, cat string }
+
+// pairEntry is a prebuilt (workflow, catalog) binding.
+type pairEntry struct {
+	// medcc:lint-ignore epochguard — built once per snapshot and immutable after publish; never rebound behind the pointer
+	m          *workflow.Matrices
+	cmin, cmax float64
+}
+
+// Library names the sources a snapshot is built from. Paths are
+// re-read on every reload; the built-in example entries (catalog
+// "paper", workflow "example", the paper's Fig. 2 instance) are always
+// present unless a source shadows their name.
+type Library struct {
+	// Catalogs maps name → path of a catalog JSON file (a list of VM
+	// types, the cmd/medcc -catalog format).
+	Catalogs map[string]string
+	// Workflows maps name → path of a workflow file in any ingest
+	// format (native JSON, DAX XML, WfCommons JSON, binary container).
+	Workflows map[string]string
+}
+
+// buildSnapshot loads every library source and prebuilds all
+// (workflow, catalog) pairs. Any unreadable or invalid source fails the
+// whole build — a reload either fully succeeds or leaves the previous
+// snapshot in place.
+func buildSnapshot(lib Library, version uint64) (*Snapshot, error) {
+	snap := &Snapshot{
+		Version:   version,
+		Catalogs:  map[string]cloud.Catalog{},
+		Workflows: map[string]*workflow.Workflow{},
+	}
+	exWf, exCat := workflow.PaperExample()
+	snap.Catalogs["paper"] = exCat
+	snap.Workflows["example"] = exWf
+
+	for _, name := range sortedKeys(lib.Catalogs) {
+		var cat cloud.Catalog
+		if err := ingest.JSONFile(lib.Catalogs[name], &cat); err != nil {
+			return nil, fmt.Errorf("serve: catalog %q: %w", name, err)
+		}
+		if err := cat.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: catalog %q (%s): %w", name, lib.Catalogs[name], err)
+		}
+		snap.Catalogs[name] = cat
+	}
+	for _, name := range sortedKeys(lib.Workflows) {
+		w, _, _, err := ingest.File(lib.Workflows[name], ingest.Options{ReferencePower: 1})
+		if err != nil {
+			return nil, fmt.Errorf("serve: workflow %q: %w", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: workflow %q (%s): %w", name, lib.Workflows[name], err)
+		}
+		snap.Workflows[name] = w
+	}
+
+	snap.catNames = sortedKeys(snap.Catalogs)
+	snap.wfNames = sortedKeys(snap.Workflows)
+
+	// Prebuild every pair. Building matrices also warms the workflow's
+	// cached topo order and CSR adjacency, so publishing the snapshot
+	// is the synchronization point after which concurrent readers only
+	// ever hit warm caches.
+	snap.pairs = make(map[pairKey]*pairEntry, len(snap.wfNames)*len(snap.catNames))
+	for _, wn := range snap.wfNames {
+		w := snap.Workflows[wn]
+		for _, cn := range snap.catNames {
+			m, err := w.BuildMatrices(snap.Catalogs[cn], cloud.HourlyRoundUp)
+			if err != nil {
+				return nil, fmt.Errorf("serve: pair (%s, %s): %w", wn, cn, err)
+			}
+			m.BuildOptions()
+			cmin, cmax := m.BudgetRange(w)
+			snap.pairs[pairKey{wn, cn}] = &pairEntry{m: m, cmin: cmin, cmax: cmax}
+		}
+	}
+	return snap, nil
+}
+
+// Pair returns the prebuilt matrices and feasible budget range of a
+// named (workflow, catalog) pair, or false if either name is unknown.
+func (s *Snapshot) Pair(wf, cat string) (*workflow.Matrices, float64, float64, bool) {
+	e, ok := s.pairs[pairKey{wf, cat}]
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return e.m, e.cmin, e.cmax, true
+}
+
+// CatalogNames and WorkflowNames list the libraries in sorted order.
+func (s *Snapshot) CatalogNames() []string  { return s.catNames }
+func (s *Snapshot) WorkflowNames() []string { return s.wfNames }
+
+// sortedKeys collects and sorts a string-keyed map's keys (the
+// collect-then-sort idiom the mapiter analyzer mandates).
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+
+	"medcc/internal/dag"
+	"medcc/internal/sched"
+	"medcc/internal/sim"
+)
+
+// worker is the per-goroutine serving scratch: scheduler engines (one
+// per algorithm, lazily instantiated), the pooled timing used for
+// makespan evaluation, a Replayer for simulated traces, and the batch
+// buffer. Each worker goroutine owns exactly one worker by index into
+// the server's pool — workers never cross goroutines, so every piece of
+// scratch is reused from request to request without synchronization.
+//
+// medcc:scratch
+type worker struct {
+	algs  map[string]sched.IntoScheduler
+	batch []*job
+
+	// Pooled makespan evaluation, the campaign-scratch idiom: rebuild
+	// the Timing when the (graph, version) binding changes, refresh it
+	// in place otherwise. tg tracks graph identity because jobs from
+	// different workflows carry distinct graphs whose version counters
+	// are unrelated.
+	times []float64
+	t     *dag.Timing
+	tg    *dag.Graph
+	tver  uint64
+
+	rep sim.Replayer
+}
+
+// runWorker is one pool goroutine: take a job (blocking), opportunistically
+// drain more into a batch, sort the batch so same-instance requests are
+// adjacent, and serve them in order. Sorting is what amortizes the
+// catalog bind: scheduler engines early-return their bind when the
+// (workflow, matrices, versions) tuple is unchanged, so a batch of
+// same-pair requests binds once and schedules many times.
+func (s *Server) runWorker(k int) {
+	defer s.wg.Done()
+	w := &s.workers[k]
+	for j := range s.queue {
+		w.batch = append(w.batch[:0], j)
+		w.gather(s.queue, s.maxBatch)
+		w.sortBatch()
+		for _, j := range w.batch {
+			j.err = w.serve(j)
+			j.done <- struct{}{}
+		}
+	}
+}
+
+// gather drains up to max-1 additional queued jobs without blocking.
+//
+// medcc:allocfree
+func (w *worker) gather(queue <-chan *job, max int) {
+	for len(w.batch) < max {
+		select {
+		case j, ok := <-queue:
+			if !ok {
+				return
+			}
+			w.batch = append(w.batch, j)
+		default:
+			return
+		}
+	}
+}
+
+// sortBatch groups the batch by (algorithm, workflow, catalog, snapshot
+// version) with an in-place insertion sort — batches are small and
+// mostly presorted under homogeneous load. The sort is stable, so
+// same-key requests keep their admission order and responses stay
+// deterministic.
+//
+// medcc:allocfree
+func (w *worker) sortBatch() {
+	b := w.batch
+	for i := 1; i < len(b); i++ {
+		j := b[i]
+		k := i - 1
+		for k >= 0 && batchLess(j, b[k]) {
+			b[k+1] = b[k]
+			k--
+		}
+		b[k+1] = j
+	}
+}
+
+// batchLess orders jobs for batching. Inline instances have empty refs
+// and sort together; their engines rebind per job regardless.
+//
+// medcc:allocfree
+func batchLess(a, b *job) bool {
+	if a.alg != b.alg {
+		return a.alg < b.alg
+	}
+	if a.wfRef != b.wfRef {
+		return a.wfRef < b.wfRef
+	}
+	if a.catRef != b.catRef {
+		return a.catRef < b.catRef
+	}
+	return a.snap.Version < b.snap.Version
+}
+
+// serve runs one admitted job: schedule within budget, price and time
+// the result, optionally replay it for a trace. Everything here runs in
+// worker-owned scratch.
+//
+// medcc:allocfree
+func (w *worker) serve(j *job) error {
+	alg := w.algs[j.alg]
+	if alg == nil {
+		var err error
+		if alg, err = w.algFor(j.alg); err != nil {
+			return err
+		}
+	}
+	sc, err := alg.ScheduleInto(j.sched, j.w, j.m, j.budget)
+	if err != nil {
+		return err
+	}
+	j.sched = sc
+	j.cost = j.m.Cost(sc)
+	if j.makespan, err = w.makespan(j); err != nil {
+		return err
+	}
+	if tr, ok := alg.(sched.TruncationReporter); ok {
+		j.truncated = tr.WasTruncated()
+	} else {
+		j.truncated = false
+	}
+	if !j.simulate {
+		return nil
+	}
+	return w.rep.RunInto(sim.Config{
+		Workflow: j.w, Matrices: j.m, Schedule: j.sched,
+		BootTime: j.boot, Bandwidth: j.bw, Delay: j.delay,
+		TransferSlots: j.slots,
+	}, &j.trace)
+}
+
+// makespan evaluates the schedule's end-to-end delay with the pooled
+// timing (zero transfer time, the paper's evaluation setting — matches
+// sched.Run's MED).
+//
+// medcc:allocfree
+func (w *worker) makespan(j *job) (float64, error) {
+	if err := j.w.ValidateSchedule(j.sched, len(j.m.Catalog)); err != nil {
+		return 0, err
+	}
+	w.times = j.m.TimesInto(j.sched, w.times)
+	g := j.w.Graph()
+	if w.t == nil || w.tg != g || w.tver != g.Version() {
+		return w.freshTiming(g)
+	}
+	if err := w.t.Update(w.times); err != nil {
+		return 0, err
+	}
+	return w.t.Makespan, nil
+}
+
+// freshTiming rebinds the pooled timing to a new graph.
+//
+// medcc:coldpath — runs on instance switch within a batch, not per
+// request; batch sorting keeps same-instance requests adjacent so the
+// rebuild amortizes like the engines' bind.
+func (w *worker) freshTiming(g *dag.Graph) (float64, error) {
+	t, err := dag.NewTiming(g, w.times, nil)
+	if err != nil {
+		return 0, err
+	}
+	w.t, w.tg, w.tver = t, g, g.Version()
+	return t.Makespan, nil
+}
+
+// algFor instantiates and caches a per-worker scheduler engine.
+//
+// medcc:coldpath — once per (worker, algorithm).
+func (w *worker) algFor(name string) (sched.IntoScheduler, error) {
+	if w.algs == nil {
+		w.algs = map[string]sched.IntoScheduler{}
+	}
+	sc, err := sched.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	into, ok := sc.(sched.IntoScheduler)
+	if !ok {
+		return nil, fmt.Errorf("serve: %s does not support pooled scheduling", name)
+	}
+	w.algs[name] = into
+	return into, nil
+}

@@ -143,6 +143,20 @@ func (r *Replayer) bind(w *workflow.Workflow, m *workflow.Matrices) {
 	r.res.Modules = growModuleTraces(r.res.Modules, n)
 }
 
+// RunInto replays cfg and deep-copies the trace into dst — the batch
+// entry point for callers (serving workers, parallel campaigns) that
+// must hold a result past this Replayer's next Run.
+//
+// medcc:allocfree
+func (r *Replayer) RunInto(cfg Config, dst *Result) error {
+	res, err := r.Run(cfg)
+	if err != nil {
+		return err
+	}
+	dst.CopyFrom(res)
+	return nil
+}
+
 // Run replays cfg.Schedule on the bound (or newly bound) instance and
 // returns its trace. The result is reused: it remains valid only until
 // the next Run on this Replayer.

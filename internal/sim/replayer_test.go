@@ -311,6 +311,31 @@ func TestReplayerMatchesReferenceBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRunIntoCopies checks the batch entry point: RunInto's deep copy
+// matches the pooled result bit for bit and survives the Replayer being
+// reused for a different config afterwards.
+func TestRunIntoCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfgs := differentialConfigs(t, rng, gen.ProblemSize{M: 25, E: 201, N: 5})
+	var r Replayer
+	var dst Result
+	for i, cfg := range cfgs {
+		want, err := referenceRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RunInto(cfg, &dst); err != nil {
+			t.Fatal(err)
+		}
+		// Clobber the replayer's pooled result with the next config
+		// before checking: the copy must be independent of it.
+		if _, err := r.Run(cfgs[(i+1)%len(cfgs)]); err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, fmt.Sprintf("runinto %d", i), &dst, want)
+	}
+}
+
 // TestRunMatchesReference locks the compatibility wrapper itself.
 func TestRunMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))

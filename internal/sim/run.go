@@ -60,6 +60,26 @@ type Result struct {
 	Events   int64
 }
 
+// CopyFrom deep-copies src into dst, reusing dst's slices (self-append
+// growth to the high-water mark), so steady-state copies of same-shaped
+// runs allocate nothing. It is how batch consumers keep a trace past
+// the owning Replayer's next Run.
+//
+// medcc:allocfree
+func (dst *Result) CopyFrom(src *Result) {
+	dst.Makespan = src.Makespan
+	dst.Cost = src.Cost
+	dst.Events = src.Events
+	dst.Modules = append(dst.Modules[:0], src.Modules...)
+	dst.VMs = growVMTraces(dst.VMs, len(src.VMs))
+	for i := range src.VMs {
+		d, s := &dst.VMs[i], &src.VMs[i]
+		d.Type, d.BootAt, d.ReadyAt = s.Type, s.BootAt, s.ReadyAt
+		d.StoppedAt, d.Cost = s.StoppedAt, s.Cost
+		d.Modules = append(d.Modules[:0], s.Modules...)
+	}
+}
+
 // Run simulates the configured execution and returns its trace. It is a
 // thin compatibility wrapper dedicating a fresh Replayer to the call, so
 // the returned Result is owned by the caller; replay loops that care

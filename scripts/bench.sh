@@ -9,12 +9,15 @@
 #
 # Output maps benchmark name -> {ns_per_op, allocs_per_op}, taking the
 # fastest of the COUNT runs (the least noise-contaminated estimate) and the
-# allocation count, which is deterministic across runs.
+# allocation count, which is deterministic across runs. Benchmarks that
+# report latency quantiles via b.ReportMetric (p50-ns / p99-ns, e.g.
+# BenchmarkServeThroughput) get p50_ns / p99_ns fields, again keeping
+# the lowest of the COUNT runs.
 set -eu
 cd "$(dirname "$0")/.."
 COUNT="${COUNT:-5}"
 PATTERN="${PATTERN:-.}"
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 TMP=".bench.raw.$$"
 trap 'rm -f "$TMP"' EXIT INT TERM
 
@@ -24,14 +27,18 @@ awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	ns = ""; allocs = ""
+	ns = ""; allocs = ""; p50 = ""; p99 = ""
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i - 1)
 		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i == "p50-ns") p50 = $(i - 1)
+		if ($i == "p99-ns") p99 = $(i - 1)
 	}
 	if (ns == "") next
 	if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
 	if (allocs != "") al[name] = allocs
+	if (p50 != "" && (!(name in q50) || p50 + 0 < q50[name] + 0)) q50[name] = p50
+	if (p99 != "" && (!(name in q99) || p99 + 0 < q99[name] + 0)) q99[name] = p99
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
 END {
@@ -39,8 +46,11 @@ END {
 	for (i = 1; i <= n; i++) {
 		name = order[i]
 		a = (name in al) ? al[name] : "null"
-		printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-			name, best[name], a, (i < n ? "," : "")
+		extra = ""
+		if (name in q50) extra = extra ", \"p50_ns\": " q50[name]
+		if (name in q99) extra = extra ", \"p99_ns\": " q99[name]
+		printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s%s}%s\n", \
+			name, best[name], a, extra, (i < n ? "," : "")
 	}
 	printf "}\n"
 }' "$TMP" > "$OUT"

@@ -18,7 +18,7 @@
 # retiring benchmarks never breaks the check.
 set -eu
 cd "$(dirname "$0")/.."
-BASE="${1:-BENCH_5.json}"
+BASE="${1:-BENCH_6.json}"
 CAND="${2:-.bench.candidate.json}"
 MAX="${MAX_REGRESSION_PCT:-25}"
 MAXALLOC="${MAX_ALLOC_DELTA:-0}"

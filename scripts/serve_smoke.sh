@@ -1,0 +1,61 @@
+#!/bin/sh
+# End-to-end smoke of the serving stack: build the daemon and the load
+# generator (race-instrumented), generate a small corpus, boot
+# medcc-serve on an ephemeral port, push requests through it with
+# medcc-load, and require a clean report plus a clean shutdown.
+#
+# Usage: scripts/serve_smoke.sh
+#
+# Environment:
+#   N     requests to push (default 100)
+#   C     concurrent clients (default 4)
+#   PORT  listen port (default 18080)
+set -eu
+cd "$(dirname "$0")/.."
+N="${N:-100}"
+C="${C:-4}"
+PORT="${PORT:-18080}"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+	[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+	[ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -race -o "$TMP/medcc-serve" ./cmd/medcc-serve
+go build -race -o "$TMP/medcc-load" ./cmd/medcc-load
+go build -o "$TMP/wfgen" ./cmd/wfgen
+
+"$TMP/wfgen" -corpus "$TMP/corpus.medc" -count 16 -seed 1
+
+"$TMP/medcc-serve" -addr "127.0.0.1:$PORT" -workers 2 2> "$TMP/serve.log" &
+SERVE_PID=$!
+
+ok=""
+for _ in $(seq 1 50); do
+	if curl -sf "http://127.0.0.1:$PORT/healthz" > /dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve.log" >&2; exit 1; }
+	sleep 0.2
+done
+[ -n "$ok" ] || { echo "serve_smoke: server never became healthy" >&2; cat "$TMP/serve.log" >&2; exit 1; }
+
+"$TMP/medcc-load" -url "http://127.0.0.1:$PORT" -corpus "$TMP/corpus.medc" -n "$N" -c "$C"
+
+# A reload mid-life must succeed and keep serving.
+curl -sf -X POST "http://127.0.0.1:$PORT/reload" > /dev/null
+"$TMP/medcc-load" -url "http://127.0.0.1:$PORT" -corpus "$TMP/corpus.medc" -n 20 -c 2 > /dev/null
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+if grep -q "WARNING: DATA RACE" "$TMP/serve.log"; then
+	cat "$TMP/serve.log" >&2
+	echo "serve_smoke: data race detected" >&2
+	exit 1
+fi
+echo "serve_smoke: OK ($N requests, $C clients, race-clean)"

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"medcc/internal/analysis"
 	"medcc/internal/cloud"
 	"medcc/internal/dag"
 	"medcc/internal/encoding"
@@ -546,5 +547,32 @@ func BenchmarkServeThroughput(b *testing.B) {
 		sort.Float64s(lats)
 		b.ReportMetric(stats.Percentile(lats, 50), "p50-ns")
 		b.ReportMetric(stats.Percentile(lats, 99), "p99-ns")
+	}
+}
+
+// BenchmarkLintSelf times the full static-analysis pass over this
+// module: the parallel loader (concurrent parse, wave-parallel
+// type-check) plus all ten analyzers and the stale-suppression pass.
+// Each iteration builds a fresh Loader, so the number tracks the cold
+// cost CI pays per lint run.
+func BenchmarkLintSelf(b *testing.B) {
+	root, err := analysis.FindRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := analysis.Run(mod, analysis.All()); len(diags) != 0 {
+			b.Fatalf("module is not lint-clean: %v", diags[0])
+		}
 	}
 }

@@ -41,46 +41,15 @@ func (*AllocFree) Doc() string {
 var allocPkgDeny = map[string]bool{"fmt": true, "errors": true}
 
 func (a *AllocFree) Run(m *Module, report func(Diagnostic)) {
-	type item struct {
-		fn   *types.Func
-		root string
-	}
-	var queue []item
-	seen := map[*types.Func]bool{}
-	for _, pkg := range m.Packages {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || !HasMarker(fd.Doc, MarkerAllocFree) {
-					continue
-				}
-				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && !seen[fn] {
-					seen[fn] = true
-					queue = append(queue, item{fn, fn.FullName()})
-				}
-			}
-		}
-	}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		fi := m.FuncDecl(it.fn)
-		if fi == nil || fi.Decl.Body == nil {
-			continue
-		}
-		for _, callee := range a.checkFunc(m, fi, it.root, report) {
-			if !seen[callee] {
-				seen[callee] = true
-				queue = append(queue, item{callee, it.root})
-			}
-		}
-	}
+	g := m.CallGraph()
+	g.Walk(g.RootsWithMarker(MarkerAllocFree),
+		func(n *FuncNode) bool { return n.HasMarker(MarkerColdPath) },
+		func(n, root *FuncNode) { a.checkFunc(m, n, root.Fn.FullName(), report) })
 }
 
-// checkFunc reports allocating constructs in fi's body and returns the
-// in-module callees to walk next.
-func (a *AllocFree) checkFunc(m *Module, fi *FuncInfo, root string, report func(Diagnostic)) []*types.Func {
-	pkg, body := fi.Pkg, fi.Decl.Body
+// checkFunc reports allocating constructs in the node's body.
+func (a *AllocFree) checkFunc(m *Module, n *FuncNode, root string, report func(Diagnostic)) {
+	pkg, body := n.Pkg, n.Decl.Body
 	info := pkg.Info
 
 	// Prepass: nodes inside return statements (error-exit exemption),
@@ -116,7 +85,6 @@ func (a *AllocFree) checkFunc(m *Module, fi *FuncInfo, root string, report func(
 			" (in allocfree path from " + root + ")"})
 	}
 
-	var callees []*types.Func
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
@@ -151,15 +119,14 @@ func (a *AllocFree) checkFunc(m *Module, fi *FuncInfo, root string, report func(
 				at(n.Pos(), "method value allocates a bound-method closure")
 			}
 		case *ast.CallExpr:
-			a.checkCall(m, pkg, n, inReturn[n], selfAppend[n], at, &callees)
+			a.checkCall(m, pkg, n, inReturn[n], selfAppend[n], at)
 		}
 		return true
 	})
-	return callees
 }
 
 func (a *AllocFree) checkCall(m *Module, pkg *Package, call *ast.CallExpr, inReturn, selfAppend bool,
-	at func(token.Pos, string, ...any), callees *[]*types.Func) {
+	at func(token.Pos, string, ...any)) {
 	info := pkg.Info
 
 	// Type conversions: only string<->[]byte/[]rune copy.
@@ -194,9 +161,6 @@ func (a *AllocFree) checkCall(m *Module, pkg *Package, call *ast.CallExpr, inRet
 	if callee != nil {
 		if cp := callee.Pkg(); cp != nil && allocPkgDeny[cp.Path()] && !inReturn {
 			at(call.Pos(), "call to %s allocates", callee.FullName())
-		}
-		if fi := m.FuncDecl(callee); fi != nil && !HasMarker(fi.Decl.Doc, MarkerColdPath) {
-			*callees = append(*callees, callee)
 		}
 	}
 

@@ -1,12 +1,11 @@
 // Package analysis is the project's static-analysis suite: a
-// stdlib-only (go/parser, go/ast, go/types — no x/tools) driver plus
-// five analyzers that machine-check the invariants the timing engine
-// (internal/dag, internal/sched) and the simulator core (internal/sim)
-// were rebuilt around. The invariants are conventions that reviews
-// cannot reliably police — zero-allocation hot paths, version/epoch
-// guarded cached bindings, worker-private pooled scratch, epsilon-safe
-// float comparisons, and deterministic iteration — so each gets an
-// analyzer (see DESIGN.md §8):
+// stdlib-only (go/parser, go/ast, go/types — no x/tools) driver, a
+// shared whole-module call-graph + fact engine (callgraph.go), and ten
+// analyzers that machine-check the invariants the timing engine
+// (internal/dag, internal/sched), the simulator core (internal/sim),
+// and the serving stack (internal/serve) were rebuilt around. The
+// invariants are conventions that reviews cannot reliably police, so
+// each gets an analyzer (see DESIGN.md §8):
 //
 //   - allocfree:     `// medcc:allocfree` functions and their in-module
 //     callees must not contain allocating constructs.
@@ -19,12 +18,24 @@
 //     functions marked `// medcc:floateq-exact`.
 //   - mapiter:       no unsorted map iteration feeding deterministic
 //     outputs.
+//   - atomics:       sync/atomic-managed words never accessed plainly;
+//     one atomic.Pointer Load per `// medcc:onesnapshot` request path.
+//   - goroleak:      every go statement joins a WaitGroup, signals a
+//     drain channel, or is annotated `// medcc:daemon`.
+//   - chanclose:     channels close once, on the sending side, and
+//     sent-on channels have a drain path.
+//   - determinism:   `// medcc:deterministic` roots and everything
+//     reachable from them avoid the wall clock, the global rand
+//     source, and unsorted map order.
+//   - errwrap:       error causes wrap with %w or shared sentinels; no
+//     err.Error() re-stringifying, no duplicate errors.New messages.
 //
 // Findings are suppressed line-by-line with
 // `// medcc:lint-ignore <analyzer> — rationale`, either trailing the
-// offending line or on the line above it. cmd/medcc-lint is the CLI
-// front end; TestLintSelf keeps `go test ./...` failing on new
-// violations even where CI is not run.
+// offending line or on the line above it; suppressions that no longer
+// suppress anything are themselves findings (staleignore). cmd/medcc-lint
+// is the CLI front end; TestLintSelf keeps `go test ./...` failing on
+// new violations even where CI is not run.
 package analysis
 
 import (
@@ -81,6 +92,7 @@ type Module struct {
 	Targets  []*Package
 
 	funcIndex map[*types.Func]*FuncInfo
+	callGraph *CallGraph
 }
 
 // FuncInfo ties a function object to its declaration and owning package.
@@ -145,12 +157,15 @@ func Callee(pkg *Package, call *ast.CallExpr) *types.Func {
 // Marker annotations are single comment lines of the form
 // `// medcc:<marker>` inside a declaration's doc comment.
 const (
-	MarkerAllocFree   = "medcc:allocfree"     // function must stay allocation-free (walked transitively)
-	MarkerColdPath    = "medcc:coldpath"      // allocates only off the steady state (bind/growth/error); not walked
-	MarkerScratch     = "medcc:scratch"       // pooled scratch type: worker-private, must not escape
-	MarkerFloatExact  = "medcc:floateq-exact" // function compares floats bit-exactly by design
-	markerLintIgnore  = "medcc:lint-ignore"
-	markerWantComment = "want" // fixture expectations, see analysis_test.go
+	MarkerAllocFree     = "medcc:allocfree"     // function must stay allocation-free (walked transitively)
+	MarkerColdPath      = "medcc:coldpath"      // allocates only off the steady state (bind/growth/error); not walked
+	MarkerScratch       = "medcc:scratch"       // pooled scratch type: worker-private, must not escape
+	MarkerFloatExact    = "medcc:floateq-exact" // function compares floats bit-exactly by design
+	MarkerDeterministic = "medcc:deterministic" // differential-tested root: no clock/global-rand/map-order (walked transitively)
+	MarkerDaemon        = "medcc:daemon"        // goroutine deliberately outlives its spawner (process-lifetime)
+	MarkerOneSnapshot   = "medcc:onesnapshot"   // request root: each atomic.Pointer snapshot Loaded at most once (walked transitively)
+	markerLintIgnore    = "medcc:lint-ignore"
+	markerWantComment   = "want" // fixture expectations, see analysis_test.go
 )
 
 // HasMarker reports whether doc contains the marker annotation on a
@@ -160,76 +175,151 @@ func HasMarker(doc *ast.CommentGroup, marker string) bool {
 		return false
 	}
 	for _, c := range doc.List {
-		text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* \t"))
-		if text == marker || strings.HasPrefix(text, marker+" ") {
+		if commentHasMarker(c.Text, marker) {
 			return true
 		}
 	}
 	return false
 }
 
+// commentHasMarker reports whether a single comment's text is the
+// marker annotation (with optional trailing rationale).
+func commentHasMarker(text, marker string) bool {
+	text = strings.TrimSpace(strings.TrimLeft(text, "/* \t"))
+	return text == marker || strings.HasPrefix(text, marker+" ")
+}
+
 var ignoreRe = regexp.MustCompile(`medcc:lint-ignore\s+([a-z,]+)`)
 
-// suppressions maps filename -> line -> set of analyzer names ignored on
-// that line. A `medcc:lint-ignore <analyzer>` comment suppresses both
-// its own line (trailing comments) and the line immediately after it
-// (comment-above style); `<analyzer>` may be a comma-separated list.
-func suppressions(m *Module) map[string]map[int]map[string]bool {
-	out := map[string]map[int]map[string]bool{}
+// StaleIgnoreName is the pseudo-analyzer name of the driver's stale
+// suppression check: a `medcc:lint-ignore` comment that suppresses no
+// finding of any analyzer in the run is itself a finding — dead
+// suppressions hide the next real violation on their line. The check
+// has the same escape hatch as everything else: list staleignore in the
+// comment (`medcc:lint-ignore mapiter,staleignore — rationale`) to keep
+// a suppression that is only needed intermittently.
+const StaleIgnoreName = "staleignore"
+
+// ignoreComment is one `medcc:lint-ignore` comment with the usage
+// record the stale check consumes.
+type ignoreComment struct {
+	pos   token.Position // the comment's own position
+	names []string
+	used  map[string]bool
+}
+
+// suppressionIndex maps filename -> line -> analyzer name -> the
+// suppressing comment.
+type suppressionIndex map[string]map[int]map[string]*ignoreComment
+
+// suppress records a use and reports whether d is suppressed.
+func (s suppressionIndex) suppress(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	ic := byLine[d.Pos.Line][d.Analyzer]
+	if ic == nil {
+		return false
+	}
+	ic.used[d.Analyzer] = true
+	return true
+}
+
+// suppressions indexes every `medcc:lint-ignore <analyzer>` comment of
+// the module. A comment suppresses both its own line (trailing style)
+// and the line immediately after it (comment-above style); `<analyzer>`
+// may be a comma-separated list. Mentions inside backticks
+// (`medcc:lint-ignore mapiter` in a doc comment) are prose, not
+// suppressions, and are skipped.
+func suppressions(m *Module) (suppressionIndex, []*ignoreComment) {
+	out := suppressionIndex{}
+	var comments []*ignoreComment
 	for _, pkg := range m.Packages {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					sub := ignoreRe.FindStringSubmatch(c.Text)
-					if sub == nil {
+					idx := ignoreRe.FindStringSubmatchIndex(c.Text)
+					if idx == nil {
 						continue
 					}
-					pos := m.Fset.Position(c.Pos())
-					byLine := out[pos.Filename]
-					if byLine == nil {
-						byLine = map[int]map[string]bool{}
-						out[pos.Filename] = byLine
+					if idx[0] > 0 && c.Text[idx[0]-1] == '`' {
+						continue
 					}
-					for _, name := range strings.Split(sub[1], ",") {
-						name = strings.TrimSpace(name)
-						if name == "" {
-							continue
+					ic := &ignoreComment{
+						pos:  m.Fset.Position(c.Pos()),
+						used: map[string]bool{},
+					}
+					for _, name := range strings.Split(c.Text[idx[2]:idx[3]], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							ic.names = append(ic.names, name)
 						}
-						for _, line := range []int{pos.Line, pos.Line + 1} {
+					}
+					if len(ic.names) == 0 {
+						continue
+					}
+					comments = append(comments, ic)
+					byLine := out[ic.pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]*ignoreComment{}
+						out[ic.pos.Filename] = byLine
+					}
+					for _, name := range ic.names {
+						for _, line := range []int{ic.pos.Line, ic.pos.Line + 1} {
 							if byLine[line] == nil {
-								byLine[line] = map[string]bool{}
+								byLine[line] = map[string]*ignoreComment{}
 							}
-							byLine[line][name] = true
+							byLine[line][name] = ic
 						}
 					}
 				}
 			}
 		}
 	}
-	return out
+	return out, comments
 }
 
-// Run executes the analyzers over the module, drops findings outside
-// the target packages or suppressed by `medcc:lint-ignore` comments,
-// and returns the rest sorted by position.
+// Run executes the analyzers over the module, drops findings suppressed
+// by `medcc:lint-ignore` comments, reports suppressions that suppressed
+// nothing (staleignore), and returns the rest sorted by position.
 func Run(m *Module, analyzers []Analyzer) []Diagnostic {
-	sup := suppressions(m)
+	sup, comments := suppressions(m)
 	var out []Diagnostic
 	seen := map[string]bool{}
+	emit := func(d Diagnostic) {
+		if sup.suppress(d) {
+			return
+		}
+		key := d.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		name := a.Name()
+		ran[name] = true
 		a.Run(m, func(d Diagnostic) {
 			d.Analyzer = name
-			if byLine := sup[d.Pos.Filename]; byLine != nil && byLine[d.Pos.Line][name] {
-				return
-			}
-			key := d.String()
-			if seen[key] {
-				return
-			}
-			seen[key] = true
-			out = append(out, d)
+			emit(d)
 		})
+	}
+	// Stale pass: a suppression for an analyzer that ran but matched no
+	// finding is dead weight. Names of analyzers outside this run are
+	// left alone (a single-analyzer fixture run cannot judge the rest).
+	for _, ic := range comments {
+		for _, name := range ic.names {
+			if name == StaleIgnoreName || !ran[name] || ic.used[name] {
+				continue
+			}
+			emit(Diagnostic{
+				Analyzer: StaleIgnoreName,
+				Pos:      ic.pos,
+				Message:  fmt.Sprintf("lint-ignore for %s suppresses no finding; remove it (or add staleignore to the list with a rationale)", name),
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -255,6 +345,11 @@ func All() []Analyzer {
 		&ScratchEscape{},
 		&FloatEq{},
 		&MapIter{},
+		&Atomics{},
+		&GoroLeak{},
+		&ChanClose{},
+		&Determinism{},
+		&ErrWrap{},
 	}
 }
 

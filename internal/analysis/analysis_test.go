@@ -36,9 +36,14 @@ func runFixture(t *testing.T, name string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	analyzers, err := ByName(name)
-	if err != nil {
-		t.Fatal(err)
+	// The staleignore fixture exercises the driver's stale-suppression
+	// pass, which needs the full suite so every named analyzer has run.
+	analyzers := All()
+	if name != StaleIgnoreName {
+		analyzers, err = ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	var wants []*wantDiag
@@ -86,6 +91,12 @@ func TestEpochGuardFixture(t *testing.T)    { runFixture(t, "epochguard") }
 func TestScratchEscapeFixture(t *testing.T) { runFixture(t, "scratchescape") }
 func TestFloatEqFixture(t *testing.T)       { runFixture(t, "floateq") }
 func TestMapIterFixture(t *testing.T)       { runFixture(t, "mapiter") }
+func TestAtomicsFixture(t *testing.T)       { runFixture(t, "atomics") }
+func TestGoroLeakFixture(t *testing.T)      { runFixture(t, "goroleak") }
+func TestChanCloseFixture(t *testing.T)     { runFixture(t, "chanclose") }
+func TestDeterminismFixture(t *testing.T)   { runFixture(t, "determinism") }
+func TestErrWrapFixture(t *testing.T)       { runFixture(t, "errwrap") }
+func TestStaleIgnoreFixture(t *testing.T)   { runFixture(t, "staleignore") }
 
 // TestLintSelf runs the full suite over the real module, so
 // `go test ./...` fails on new invariant violations even where CI does
@@ -111,8 +122,8 @@ func TestLintSelf(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 10, nil", len(all), err)
 	}
 	two, err := ByName("allocfree, floateq")
 	if err != nil || len(two) != 2 {

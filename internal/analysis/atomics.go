@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomics enforces the two atomic-state conventions the serving stack's
+// snapshot machinery relies on:
+//
+//  1. No mixed access: a variable or field whose address is ever passed
+//     to a sync/atomic operation (atomic.AddInt64(&s.n, 1),
+//     atomic.LoadUint64(&s.ver), ...) is an atomic word; every other
+//     read or write of it must also go through sync/atomic. A plain
+//     `s.n++` next to an atomic.AddInt64 is a data race the race
+//     detector only catches on the interleavings tests happen to hit.
+//     (Fields of the atomic.Int64/atomic.Pointer[T] wrapper types are
+//     immune by construction — their state is unexported — so this
+//     check concerns the legacy address-passing style.)
+//
+//  2. Snapshot pinning: on a request path rooted at a function marked
+//     `// medcc:onesnapshot`, each atomic.Pointer field must be
+//     `Load`ed at most once across the whole statically reachable
+//     path. A second Load mid-request can observe a concurrent reload
+//     and mix two snapshot versions in one response — the serving
+//     contract is "pin at admission, read the pin thereafter". The
+//     walk uses the shared call graph; Loads of distinct pointers are
+//     independent, and unmarked paths (reload handlers, tests) may
+//     Load freely.
+type Atomics struct{}
+
+func (*Atomics) Name() string { return "atomics" }
+func (*Atomics) Doc() string {
+	return "no non-atomic access to sync/atomic-managed words; one atomic.Pointer Load per medcc:onesnapshot path"
+}
+
+func (a *Atomics) Run(m *Module, report func(Diagnostic)) {
+	a.checkMixedAccess(m, report)
+	a.checkSnapshotLoads(m, report)
+}
+
+// atomicCallArg returns the object whose address is passed as the
+// word-pointer argument of a sync/atomic call, or nil. Every sync/atomic
+// package function takes the word pointer first (addr *T).
+func atomicCallArg(pkg *Package, cs CallSite) types.Object {
+	if cs.Callee == nil || cs.Callee.Pkg() == nil || cs.Callee.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if cs.Callee.Type().(*types.Signature).Recv() != nil || len(cs.Expr.Args) == 0 {
+		return nil
+	}
+	ue, ok := ast.Unparen(cs.Expr.Args[0]).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	return referencedObj(pkg, ue.X)
+}
+
+// referencedObj resolves the variable or field object an lvalue
+// expression names (x, s.f, (&s).f), or nil.
+func referencedObj(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := pkg.Info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkMixedAccess finds every word managed through sync/atomic calls,
+// then reports plain uses of those words anywhere in the module.
+func (a *Atomics) checkMixedAccess(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+
+	// Pass 1: which objects are atomic words, and which identifier uses
+	// are sanctioned (they appear inside the &word argument of an
+	// atomic call).
+	atomicWords := map[types.Object]bool{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, fn := range g.Funcs() {
+		for _, cs := range fn.Calls {
+			obj := atomicCallArg(fn.Pkg, cs)
+			if obj == nil {
+				continue
+			}
+			atomicWords[obj] = true
+			ast.Inspect(cs.Expr.Args[0], func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					sanctioned[id] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicWords) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of an atomic word is a mixed access.
+	for _, fn := range g.Funcs() {
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj, ok := fn.Pkg.Info.Uses[id].(*types.Var)
+			if !ok || !atomicWords[types.Object(obj)] {
+				return true
+			}
+			report(Diagnostic{
+				Pos: m.Fset.Position(id.Pos()),
+				Message: fmt.Sprintf("%s is managed by sync/atomic operations elsewhere; this plain access races with them (use sync/atomic or an atomic.* wrapper type)",
+					obj.Name()),
+			})
+			return true
+		})
+	}
+}
+
+// atomicPointerLoad returns the atomic.Pointer (or atomic.Value) field
+// object a call site Loads, or nil. Scalar wrappers (atomic.Int64
+// counters and friends) are not snapshots and load freely.
+func atomicPointerLoad(pkg *Package, cs CallSite) types.Object {
+	if cs.Callee == nil || cs.Callee.Name() != "Load" || cs.Callee.Pkg() == nil || cs.Callee.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	recv := cs.Callee.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || (named.Obj().Name() != "Pointer" && named.Obj().Name() != "Value") {
+		return nil
+	}
+	sel, ok := ast.Unparen(cs.Expr.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return referencedObj(pkg, sel.X)
+}
+
+// checkSnapshotLoads walks each medcc:onesnapshot root and reports any
+// atomic pointer whose Load sites reachable from that root exceed one.
+func (a *Atomics) checkSnapshotLoads(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+	for _, root := range g.RootsWithMarker(MarkerOneSnapshot) {
+		type loadSite struct {
+			pos token.Pos
+			fn  *FuncNode
+		}
+		first := map[types.Object]loadSite{}
+		g.Walk([]*FuncNode{root}, nil, func(n, _ *FuncNode) {
+			for _, cs := range n.Calls {
+				obj := atomicPointerLoad(n.Pkg, cs)
+				if obj == nil {
+					continue
+				}
+				prev, seen := first[obj]
+				if !seen {
+					first[obj] = loadSite{cs.Expr.Pos(), n}
+					continue
+				}
+				report(Diagnostic{
+					Pos: m.Fset.Position(cs.Expr.Pos()),
+					Message: fmt.Sprintf("second Load of atomic pointer %s on onesnapshot path from %s (first Load in %s); pin the snapshot once and pass it down",
+						obj.Name(), root.Fn.FullName(), prev.fn.Fn.FullName()),
+				})
+			}
+		})
+	}
+}

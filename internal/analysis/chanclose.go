@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// ChanClose enforces the channel ownership discipline the serving
+// stack's bounded admission queue depends on. Channel state is tracked
+// per named channel — a struct field (s.queue), a package-level var, or
+// a local — by resolving each send / close / receive / range site to
+// its types.Object through the shared call graph's facts. Three
+// invariants:
+//
+//  1. Single close: a channel with more than one static close site will
+//     panic on whichever close runs second. Conditional shutdown must
+//     funnel through one close (sync.Once or a single owner).
+//
+//  2. Sender closes: `close` belongs to the sending side — the side
+//     that knows no more values are coming. A close inside a function
+//     that receives from the channel but never sends on it inverts the
+//     ownership and races every in-flight send with a panic.
+//
+//  3. Drain path: a channel somebody sends on must have a receive or
+//     `range` drain somewhere in the module, or every send past the
+//     buffer blocks forever. Checked only for struct fields and
+//     package-level channels — a local channel handed to another
+//     function resolves to a different object there, so locals are
+//     matched within their defining function only when they have
+//     module-visible identity.
+type ChanClose struct{}
+
+func (*ChanClose) Name() string { return "chanclose" }
+func (*ChanClose) Doc() string {
+	return "channels close once, on the sending side, and every sent-on channel has a drain path"
+}
+
+// chanSites aggregates every site touching one channel object.
+type chanSites struct {
+	obj    types.Object
+	sends  []token.Pos
+	closes []token.Pos
+	recvs  []token.Pos // receive exprs and range-over-channel drains
+	// per-function roles, for the sender-closes check
+	sendsIn map[*FuncNode]bool
+	recvsIn map[*FuncNode]bool
+}
+
+func (cc *ChanClose) Run(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+	byObj := map[types.Object]*chanSites{}
+	var order []*chanSites
+	site := func(obj types.Object) *chanSites {
+		s := byObj[obj]
+		if s == nil {
+			s = &chanSites{obj: obj, sendsIn: map[*FuncNode]bool{}, recvsIn: map[*FuncNode]bool{}}
+			byObj[obj] = s
+			order = append(order, s)
+		}
+		return s
+	}
+
+	for _, fn := range g.Funcs() {
+		for _, ss := range fn.Sends {
+			if obj := referencedObj(fn.Pkg, ss.Chan); obj != nil {
+				s := site(obj)
+				s.sends = append(s.sends, ss.Pos())
+				s.sendsIn[fn] = true
+			}
+		}
+		for _, ce := range fn.Closes {
+			if len(ce.Args) != 1 {
+				continue
+			}
+			if obj := referencedObj(fn.Pkg, ce.Args[0]); obj != nil {
+				s := site(obj)
+				s.closes = append(s.closes, ce.Pos())
+			}
+		}
+		for _, ue := range fn.Recvs {
+			if obj := referencedObj(fn.Pkg, ue.X); obj != nil {
+				s := site(obj)
+				s.recvs = append(s.recvs, ue.Pos())
+				s.recvsIn[fn] = true
+			}
+		}
+		for _, rs := range fn.ChanRanges {
+			if obj := referencedObj(fn.Pkg, rs.X); obj != nil {
+				s := site(obj)
+				s.recvs = append(s.recvs, rs.Pos())
+				s.recvsIn[fn] = true
+			}
+		}
+	}
+
+	// Re-walk closes with full role maps for the sender-closes check.
+	closeOwner := map[token.Pos]*FuncNode{}
+	for _, fn := range g.Funcs() {
+		for _, ce := range fn.Closes {
+			closeOwner[ce.Pos()] = fn
+		}
+	}
+
+	for _, s := range order {
+		name := s.obj.Name()
+		if len(s.closes) > 1 {
+			first := m.Fset.Position(s.closes[0])
+			for _, pos := range s.closes[1:] {
+				report(Diagnostic{
+					Pos: m.Fset.Position(pos),
+					Message: fmt.Sprintf("channel %s is closed at more than one site (first close at %s:%d); a second close panics — funnel shutdown through one owner",
+						name, first.Filename, first.Line),
+				})
+			}
+		}
+		for _, pos := range s.closes {
+			fn := closeOwner[pos]
+			if fn != nil && s.recvsIn[fn] && !s.sendsIn[fn] {
+				report(Diagnostic{
+					Pos: m.Fset.Position(pos),
+					Message: fmt.Sprintf("channel %s is closed on its receive side; only the sending side knows when values stop — move close to the sender",
+						name),
+				})
+			}
+		}
+		if len(s.sends) > 0 && len(s.recvs) == 0 && moduleVisibleChan(s.obj) {
+			report(Diagnostic{
+				Pos: m.Fset.Position(s.sends[0]),
+				Message: fmt.Sprintf("sends on channel %s have no receive or range drain anywhere in the module; a full buffer blocks forever",
+					name),
+			})
+		}
+	}
+}
+
+// moduleVisibleChan reports whether obj is a channel whose identity is
+// stable across the module: a struct field or a package-level variable.
+// Locals lose identity when passed as arguments, so the drain check
+// skips them.
+func moduleVisibleChan(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	// Package-level: parent scope is the package scope.
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

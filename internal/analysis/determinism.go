@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-identical-replay contract on the paths
+// the differential tests pin: functions whose doc comment carries
+// `// medcc:deterministic` — the scheduler ScheduleInto implementations,
+// the Replayer, the corpus campaign runners, the serving worker — and
+// every in-module function statically reachable from them (through the
+// shared call graph, including calls made inside function literals)
+// must not observe any ambient nondeterminism:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - the unseeded global math/rand source: package-level rand.Intn,
+//     rand.Float64, rand.Perm, ... (constructing a seeded generator via
+//     rand.New(rand.NewSource(seed)) and calling its methods is fine —
+//     that is exactly how the metaheuristics stay replayable);
+//   - map iteration outside the collect-then-sort and map-to-map idioms
+//     (the mapiter contract, here folded into the transitive engine so
+//     a nondeterministic range deep inside a helper is attributed to
+//     the deterministic root it can corrupt).
+//
+// Calls through func values and interface methods have no static
+// callee and are not walked; the concrete implementations carry their
+// own `medcc:deterministic` marker instead (the schedulers behind
+// sched.Get, for example). `medcc:coldpath` does NOT exempt a callee
+// here — cold paths still feed the replayed outputs.
+type Determinism struct{}
+
+func (*Determinism) Name() string { return "determinism" }
+func (*Determinism) Doc() string {
+	return "medcc:deterministic paths must not read the clock, the global rand source, or unsorted map order"
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededCtors are the math/rand package-level functions that construct
+// explicitly seeded state instead of drawing from the global source.
+var seededCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (d *Determinism) Run(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+	g.Walk(g.RootsWithMarker(MarkerDeterministic), nil, func(n, root *FuncNode) {
+		suffix := " (in deterministic path from " + root.Fn.FullName() + ")"
+		for _, cs := range n.Calls {
+			if cs.Callee == nil || cs.Callee.Pkg() == nil {
+				continue
+			}
+			path, name := cs.Callee.Pkg().Path(), cs.Callee.Name()
+			recv := cs.Callee.Type().(*types.Signature).Recv()
+			switch {
+			case path == "time" && recv == nil && clockFuncs[name]:
+				report(Diagnostic{
+					Pos:     m.Fset.Position(cs.Expr.Pos()),
+					Message: fmt.Sprintf("call to time.%s reads the wall clock%s", name, suffix),
+				})
+			case strings.HasPrefix(path, "math/rand") && recv == nil && !seededCtors[name]:
+				report(Diagnostic{
+					Pos:     m.Fset.Position(cs.Expr.Pos()),
+					Message: fmt.Sprintf("call to %s.%s draws from the unseeded global source; use a seeded *rand.Rand%s", path, name, suffix),
+				})
+			}
+		}
+		for _, rs := range unsortedMapRanges(n.Pkg, n.Decl.Body, nil) {
+			report(Diagnostic{
+				Pos: m.Fset.Position(rs.Pos()),
+				Message: fmt.Sprintf("iteration order over map %s can reach a deterministic output; collect and sort the keys%s",
+					types.ExprString(rs.X), suffix),
+			})
+		}
+	})
+}

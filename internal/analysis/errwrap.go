@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrWrap keeps the module's error chains inspectable. The CLIs and the
+// serving stack branch on error identity (ErrBusy → 429, bind errors →
+// exit codes), which only works while wrapping preserves the chain for
+// errors.Is / errors.As. Inline `errors.New("pkg: message")` for a
+// fresh condition is the house style and stays legal; three shapes
+// break the chain or duplicate identity and are findings:
+//
+//  1. fmt.Errorf with an error-typed argument formatted by a verb other
+//     than %w (`fmt.Errorf("...: %v", err)`): the cause is stringified
+//     and errors.Is can no longer see it. Verbs are matched to
+//     arguments positionally from the constant format string.
+//
+//  2. err.Error() passed into fmt.Errorf or errors.New: same loss, one
+//     step more explicit.
+//
+//  3. The same constant message constructed at two or more errors.New
+//     sites: callers cannot errors.Is either one, and the duplicates
+//     drift apart under edits. Hoist a shared sentinel
+//     (`var ErrX = errors.New(...)`) and return it from both.
+type ErrWrap struct{}
+
+func (*ErrWrap) Name() string { return "errwrap" }
+func (*ErrWrap) Doc() string {
+	return "error causes wrap with %w or use shared sentinels; no err.Error() re-stringifying, no duplicate errors.New messages"
+}
+
+func (ew *ErrWrap) Run(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	type newSite struct {
+		pos token.Pos
+		msg string
+	}
+	var newSites []newSite
+
+	for _, fn := range g.Funcs() {
+		for _, cs := range fn.Calls {
+			if cs.Callee == nil || cs.Callee.Pkg() == nil {
+				continue
+			}
+			path, name := cs.Callee.Pkg().Path(), cs.Callee.Name()
+			isErrorf := path == "fmt" && name == "Errorf"
+			isNew := path == "errors" && name == "New"
+			if !isErrorf && !isNew {
+				continue
+			}
+
+			// Check 2: err.Error() as an argument to either constructor.
+			for _, arg := range cs.Expr.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				callee := Callee(fn.Pkg, inner)
+				if callee == nil || callee.Name() != "Error" {
+					continue
+				}
+				sig := callee.Type().(*types.Signature)
+				if sig.Recv() == nil || !types.Implements(sig.Recv().Type(), errType) {
+					continue
+				}
+				report(Diagnostic{
+					Pos: m.Fset.Position(inner.Pos()),
+					Message: fmt.Sprintf("err.Error() flattens the cause into a string before %s.%s; pass the error itself (wrap with %%w)",
+						path, name),
+				})
+			}
+
+			if isNew {
+				if len(cs.Expr.Args) == 1 {
+					if msg, ok := constString(fn.Pkg, cs.Expr.Args[0]); ok {
+						newSites = append(newSites, newSite{cs.Expr.Pos(), msg})
+					}
+				}
+				continue
+			}
+
+			// Check 1: error-typed args of fmt.Errorf must take %w.
+			if len(cs.Expr.Args) < 2 {
+				continue
+			}
+			format, ok := constString(fn.Pkg, cs.Expr.Args[0])
+			if !ok {
+				continue
+			}
+			verbs, indexed := formatVerbs(format)
+			if indexed {
+				continue // explicit %[n] indexes: positional matching is off
+			}
+			for i, arg := range cs.Expr.Args[1:] {
+				t := fn.Pkg.Info.TypeOf(arg)
+				if t == nil || !types.Implements(t, errType) {
+					continue
+				}
+				if i < len(verbs) && verbs[i] != 'w' {
+					report(Diagnostic{
+						Pos: m.Fset.Position(arg.Pos()),
+						Message: fmt.Sprintf("error formatted with %%%c loses the chain for errors.Is/As; use %%w to wrap the cause",
+							verbs[i]),
+					})
+				}
+			}
+		}
+	}
+
+	// Check 3: duplicate constant messages across errors.New sites.
+	first := map[string]newSite{}
+	for _, s := range newSites {
+		prev, seen := first[s.msg]
+		if !seen {
+			first[s.msg] = s
+			continue
+		}
+		p := m.Fset.Position(prev.pos)
+		report(Diagnostic{
+			Pos: m.Fset.Position(s.pos),
+			Message: fmt.Sprintf("errors.New(%q) duplicates the site at %s:%d; hoist a shared sentinel var so callers can errors.Is it",
+				s.msg, p.Filename, p.Line),
+		})
+	}
+}
+
+// constString returns the constant string value of e, if it has one.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the verb runes of a fmt format string in
+// argument order ('d', 'v', 'w', ...). indexed reports that the string
+// uses explicit argument indexes (%[1]s), which defeats positional
+// matching.
+func formatVerbs(format string) (verbs []rune, indexed bool) {
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(rs) {
+			switch rs[i] {
+			case '+', '-', '#', ' ', '0', '.', '*',
+				'1', '2', '3', '4', '5', '6', '7', '8', '9':
+				i++
+				continue
+			case '[':
+				indexed = true
+				i++
+				continue
+			case ']':
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) || rs[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, rs[i])
+	}
+	return verbs, indexed
+}

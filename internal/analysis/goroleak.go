@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak enforces goroutine lifecycle discipline: every `go`
+// statement must be tied to a shutdown path its spawner (or the
+// process) can wait on. A goroutine nothing joins outlives graceful
+// drain, keeps pinned snapshots and pooled scratch alive, and turns
+// Close into a race. The analyzer accepts a spawn when:
+//
+//   - the spawned body — the closure literal, or the statically
+//     resolved callee's body (go s.runWorker(k)) — calls
+//     (*sync.WaitGroup).Done, usually deferred: the spawner joins via
+//     Wait;
+//   - or the spawned body sends on / closes a channel: completion is
+//     signalled to a drainer (the worker-pool and fan-out shapes —
+//     errc <- run(), free <- buf);
+//   - or the spawn is annotated `// medcc:daemon` — a comment on the
+//     `go` statement's line or the line above, or the marker in the
+//     spawning function's doc — declaring a deliberate
+//     process-lifetime goroutine (accept loops, signal watchers).
+//
+// Anything else is a leak finding. The check is per spawned body, via
+// the shared call graph's facts; it does not chase Done/sends further
+// down the callee chain — a goroutine whose joining happens two calls
+// deep should annotate or restructure, because nobody else can see its
+// lifecycle either.
+type GoroLeak struct{}
+
+func (*GoroLeak) Name() string { return "goroleak" }
+func (*GoroLeak) Doc() string {
+	return "every go statement joins a WaitGroup, signals a drain channel, or is a medcc:daemon"
+}
+
+func (gl *GoroLeak) Run(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+	daemonLines := markerLines(m, MarkerDaemon)
+	for _, fn := range g.Funcs() {
+		if len(fn.GoStmts) == 0 {
+			continue
+		}
+		fnDaemon := fn.HasMarker(MarkerDaemon)
+		for _, gs := range fn.GoStmts {
+			if fnDaemon {
+				continue
+			}
+			pos := m.Fset.Position(gs.Pos())
+			if lines := daemonLines[pos.Filename]; lines[pos.Line] || lines[pos.Line-1] {
+				continue
+			}
+			if spawnJoins(g, fn.Pkg, gs) {
+				continue
+			}
+			report(Diagnostic{
+				Pos:     pos,
+				Message: "goroutine has no lifecycle: join it via sync.WaitGroup, signal a drain channel, or annotate the spawn medcc:daemon",
+			})
+		}
+	}
+}
+
+// spawnJoins reports whether the spawned body satisfies the lifecycle
+// contract: it calls (*sync.WaitGroup).Done or touches a channel
+// (send/close) that a drainer can observe.
+func spawnJoins(g *CallGraph, pkg *Package, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyJoins(pkg, lit.Body)
+	}
+	callee := Callee(pkg, gs.Call)
+	if callee == nil {
+		return false // dynamic spawn target: nothing provable, annotate it
+	}
+	n := g.Node(callee)
+	if n == nil {
+		return false // body outside the module
+	}
+	if len(n.Sends) > 0 || len(n.Closes) > 0 {
+		return true
+	}
+	return bodyJoins(n.Pkg, n.Decl.Body)
+}
+
+// bodyJoins scans one body for a WaitGroup.Done call, a channel send,
+// or a close.
+func bodyJoins(pkg *Package, body *ast.BlockStmt) bool {
+	joins := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			joins = true
+		case *ast.CallExpr:
+			if isWaitGroupDone(pkg, n) || isCloseCall(pkg, n) {
+				joins = true
+			}
+		}
+		return !joins
+	})
+	return joins
+}
+
+// isWaitGroupDone reports whether call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(pkg *Package, call *ast.CallExpr) bool {
+	callee := Callee(pkg, call)
+	if callee == nil || callee.Name() != "Done" || callee.Pkg() == nil {
+		return false
+	}
+	return callee.Pkg().Path() == "sync"
+}
+
+// isCloseCall reports whether call is the close builtin.
+func isCloseCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// markerLines maps filename -> line set of comments carrying marker
+// (for statement-level annotations like medcc:daemon on a go line).
+func markerLines(m *Module, marker string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !commentHasMarker(c.Text, marker) {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					if out[pos.Filename] == nil {
+						out[pos.Filename] = map[int]bool{}
+					}
+					out[pos.Filename][pos.Line] = true
+				}
+			}
+		}
+	}
+	return out
+}

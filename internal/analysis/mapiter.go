@@ -30,30 +30,32 @@ func (*MapIter) Doc() string {
 }
 
 func (mi *MapIter) Run(m *Module, report func(Diagnostic)) {
-	for _, pkg := range m.Packages {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				mi.checkScope(m, pkg, fd.Body, report)
-			}
+	for _, fn := range m.CallGraph().Funcs() {
+		for _, rs := range unsortedMapRanges(fn.Pkg, fn.Decl.Body, nil) {
+			report(Diagnostic{
+				Pos: m.Fset.Position(rs.Pos()),
+				Message: fmt.Sprintf("iteration order over map %s is nondeterministic; collect and sort the keys, or lint-ignore with a rationale",
+					types.ExprString(rs.X)),
+			})
 		}
 	}
 }
 
-// checkScope inspects one lexical scope (a function or closure body).
-// Closures form their own scope: a sort call inside a closure does not
-// sanction a map range outside it, and vice versa.
-func (mi *MapIter) checkScope(m *Module, pkg *Package, body *ast.BlockStmt, report func(Diagnostic)) {
+// unsortedMapRanges appends to out the map range statements of one
+// lexical scope (a function or closure body) that match neither
+// order-independent idiom, and recurses into closures. Closures form
+// their own scope: a sort call inside a closure does not sanction a map
+// range outside it, and vice versa. Shared between mapiter (whole
+// module) and determinism (functions reachable from medcc:deterministic
+// roots).
+func unsortedMapRanges(pkg *Package, body *ast.BlockStmt, out []*ast.RangeStmt) []*ast.RangeStmt {
 	var ranges []*ast.RangeStmt
 	var sorted []string // ExprString of slices passed to sort/slices calls in this scope
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			mi.checkScope(m, pkg, n.Body, report)
+			out = unsortedMapRanges(pkg, n.Body, out)
 			return false
 		case *ast.RangeStmt:
 			if _, ok := pkg.Info.TypeOf(n.X).Underlying().(*types.Map); ok {
@@ -84,12 +86,9 @@ func (mi *MapIter) checkScope(m *Module, pkg *Package, body *ast.BlockStmt, repo
 				continue
 			}
 		}
-		report(Diagnostic{
-			Pos: m.Fset.Position(rs.Pos()),
-			Message: fmt.Sprintf("iteration order over map %s is nondeterministic; collect and sort the keys, or lint-ignore with a rationale",
-				types.ExprString(rs.X)),
-		})
+		out = append(out, rs)
 	}
+	return out
 }
 
 // sortedArg returns the ExprString of the slice being sorted when call

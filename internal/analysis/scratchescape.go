@@ -61,22 +61,19 @@ func (s *ScratchEscape) Run(m *Module, report func(Diagnostic)) {
 		return involvesScratch(t, scratch, map[types.Type]bool{})
 	}
 
-	for _, pkg := range m.Packages {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.GoStmt:
-					s.checkGo(m, pkg, n, involves, report)
-				case *ast.SendStmt:
-					if tn := involves(pkg.Info.TypeOf(n.Value)); tn != nil {
-						report(Diagnostic{
-							Pos:     m.Fset.Position(n.Value.Pos()),
-							Message: fmt.Sprintf("scratch type %s sent on a channel; pooled scratch is worker-private", tn.Name()),
-						})
-					}
-				}
-				return true
-			})
+	// go statements and channel sends only occur inside function bodies,
+	// so the call graph's per-function facts cover every site.
+	for _, fn := range m.CallGraph().Funcs() {
+		for _, g := range fn.GoStmts {
+			s.checkGo(m, fn.Pkg, g, involves, report)
+		}
+		for _, snd := range fn.Sends {
+			if tn := involves(fn.Pkg.Info.TypeOf(snd.Value)); tn != nil {
+				report(Diagnostic{
+					Pos:     m.Fset.Position(snd.Value.Pos()),
+					Message: fmt.Sprintf("scratch type %s sent on a channel; pooled scratch is worker-private", tn.Name()),
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,64 @@
+// Package atomics is the fixture for the atomics analyzer: counters
+// exercises the mixed-access check (an address-passed atomic word read
+// plainly), server exercises the onesnapshot pinning check (a second
+// atomic.Pointer Load on a marked request path).
+package atomics
+
+import "sync/atomic"
+
+// counters uses the legacy address-passing atomic style: hits is an
+// atomic word, total is plain.
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total = 0
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// raced mixes a plain access into the atomic word.
+func (c *counters) raced() bool {
+	c.hits++                // want "hits is managed by sync/atomic operations elsewhere"
+	return c.hits > c.total // want "hits is managed by sync/atomic operations elsewhere"
+}
+
+type snapshot struct{ version int }
+
+// server mirrors the serving stack: one swappable snapshot pointer and
+// a scalar counter.
+type server struct {
+	snap atomic.Pointer[snapshot]
+	reqs atomic.Int64
+}
+
+// handle is a request root: the snapshot is pinned by the first Load,
+// and everything downstream must use the pin.
+//
+// medcc:onesnapshot
+func (s *server) handle() int {
+	s.reqs.Add(1)
+	snap := s.snap.Load()
+	return s.render(snap) + s.rever()
+}
+
+func (s *server) render(sn *snapshot) int {
+	_ = s.reqs.Load() // scalar wrapper: loads freely on the marked path
+	return sn.version
+}
+
+// rever re-Loads the swappable pointer mid-request and can observe a
+// concurrent reload.
+func (s *server) rever() int {
+	return s.snap.Load().version // want "second Load of atomic pointer snap"
+}
+
+// reload is off the marked path: it may Load freely.
+func (s *server) reload() *snapshot {
+	return s.snap.Load()
+}

@@ -1,0 +1,67 @@
+// Package chanclose is the fixture for the chanclose analyzer: queue
+// exercises the double-close and receive-side-close findings around a
+// correctly owned jobs/acks pair, sink exercises the missing-drain
+// finding, and localRoundTrip shows a clean local channel.
+package chanclose
+
+type queue struct {
+	jobs chan int
+	acks chan int
+	dead chan int
+}
+
+// produce is the sending side of jobs and owns its close.
+func (q *queue) produce(n int) {
+	for i := 0; i < n; i++ {
+		q.jobs <- i
+	}
+	close(q.jobs)
+}
+
+// consume drains jobs and acks each element.
+func (q *queue) consume() {
+	for j := range q.jobs {
+		q.acks <- j
+	}
+}
+
+// drainAcks is the ack receiver.
+func (q *queue) drainAcks() {
+	for range q.acks {
+	}
+}
+
+// stop closes jobs a second time: whichever of produce/stop runs last
+// panics.
+func (q *queue) stop() {
+	close(q.jobs) // want "channel jobs is closed at more than one site"
+}
+
+// badConsumer closes the channel it drains; close belongs to the
+// sender.
+func (q *queue) badConsumer() {
+	for range q.dead {
+	}
+	close(q.dead) // want "channel dead is closed on its receive side"
+}
+
+func (q *queue) feedDead(v int) {
+	q.dead <- v
+}
+
+type sink struct {
+	overflow chan int
+}
+
+// push sends on a channel no function in the module ever drains.
+func (s *sink) push(v int) {
+	s.overflow <- v // want "sends on channel overflow have no receive or range drain"
+}
+
+// localRoundTrip keeps a local channel's send and receive together:
+// clean.
+func localRoundTrip() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return <-ch
+}

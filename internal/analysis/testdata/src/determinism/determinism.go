@@ -1,0 +1,57 @@
+// Package determinism is the fixture for the determinism analyzer:
+// schedule is the marked root, jitter (reachable two edges down) seeds
+// all three nondeterminism shapes, seeded shows the sanctioned
+// explicitly-seeded generator, and offPath shows that unmarked code may
+// read the clock.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// schedule is a differential-tested entry point: its outputs are pinned
+// bit-for-bit, so nothing reachable from here may observe ambient
+// nondeterminism.
+//
+// medcc:deterministic
+func schedule(weights map[string]float64, seed int64) []string {
+	order := rank(weights)
+	_ = seeded(seed)
+	jitter()
+	return order
+}
+
+// rank uses the collect-then-sort idiom: order-independent, clean.
+func rank(weights map[string]float64) []string {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// jitter is reachable from the root and commits all three sins.
+func jitter() {
+	_ = time.Now()     // want "time.Now reads the wall clock"
+	_ = rand.Float64() // want "draws from the unseeded global source"
+	m := map[int]int{1: 1}
+	for k := range m { // want "iteration order over map m can reach a deterministic output"
+		_ = k
+	}
+}
+
+// seeded constructs an explicitly seeded generator — the sanctioned way
+// for the metaheuristics to stay replayable.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// offPath is not reachable from any deterministic root; the clock is
+// fine here.
+func offPath() time.Time {
+	return time.Now()
+}

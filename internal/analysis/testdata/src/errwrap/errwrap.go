@@ -1,0 +1,48 @@
+// Package errwrap is the fixture for the errwrap analyzer: wrapOK and
+// the errNotFound sentinel are the sanctioned shapes; wrapBad,
+// stringified, newFromError, and the dupA/dupB pair seed the three
+// finding shapes.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errNotFound is the house style for a shared identity: one sentinel,
+// returned from everywhere the condition arises.
+var errNotFound = errors.New("errwrap: not found")
+
+func lookup(ok bool) error {
+	if !ok {
+		return errNotFound
+	}
+	return nil
+}
+
+// wrapOK preserves the chain for errors.Is/As.
+func wrapOK(err error) error {
+	return fmt.Errorf("load config: %w", err)
+}
+
+// wrapBad stringifies the cause through %v.
+func wrapBad(err error) error {
+	return fmt.Errorf("load config: %v", err) // want "error formatted with %v loses the chain"
+}
+
+// stringified flattens the cause explicitly before formatting.
+func stringified(err error) error {
+	return fmt.Errorf("load config: %s", err.Error()) // want "err.Error\(\) flattens the cause"
+}
+
+// newFromError rebuilds a fresh, unrelated error from the old one's
+// text.
+func newFromError(err error) error {
+	return errors.New(err.Error()) // want "err.Error\(\) flattens the cause"
+}
+
+// dupA and dupB mint two distinct identities with the same message;
+// callers cannot errors.Is either.
+func dupA() error { return errors.New("errwrap: bad input") }
+
+func dupB() error { return errors.New("errwrap: bad input") } // want "duplicates the site"

@@ -1,0 +1,71 @@
+// Package goroleak is the fixture for the goroleak analyzer: pool and
+// fanOut are the two sanctioned join shapes (WaitGroup, drain channel),
+// leak and leakCall seed the violations, and the daemon functions show
+// both annotation spellings.
+package goroleak
+
+import "sync"
+
+type pool struct {
+	wg    sync.WaitGroup
+	queue chan int
+}
+
+// spawnJoined launches a worker whose body Done()s the WaitGroup the
+// spawner Waits on — the sanctioned worker-pool shape.
+func (p *pool) spawnJoined() {
+	p.wg.Add(1)
+	go p.run()
+	p.wg.Wait()
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+	for range p.queue {
+	}
+}
+
+// fanOut launches a closure that signals completion on a channel the
+// spawner drains — the sanctioned fan-out shape.
+func fanOut() int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}
+
+// leak launches a closure nothing ever joins.
+func leak() {
+	go func() { // want "goroutine has no lifecycle"
+		for {
+		}
+	}()
+}
+
+func tick() {}
+
+// leakCall launches a named function whose body has no join either.
+func leakCall() {
+	go tick() // want "goroutine has no lifecycle"
+}
+
+// daemonInline annotates the spawn site itself.
+func daemonInline() {
+	// medcc:daemon — accept loop lives for the whole process.
+	go func() {
+		for {
+		}
+	}()
+}
+
+// daemonFunc carries the marker in its doc comment: every spawn inside
+// is a deliberate process-lifetime goroutine.
+//
+// medcc:daemon
+func daemonFunc() {
+	go func() {
+		for {
+		}
+	}()
+}

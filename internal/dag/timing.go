@@ -209,7 +209,6 @@ func (t *Timing) UpdateNodeTracked(i int, w float64, buf []int32) (changed []int
 // medcc:floateq-exact — the no-op and makespan-anchor checks must be
 // bit-exact; see UpdateNode.
 func (t *Timing) updateNode(i int, w float64) (mkChanged bool) {
-	// medcc:lint-ignore floateq — bit-exact no-op detection; see UpdateNode.
 	if t.nodeW[i] == w {
 		return false
 	}
@@ -247,8 +246,6 @@ func (t *Timing) updateNode(i int, w float64) (mkChanged bool) {
 	// dominate and re-relax the prefix.
 	t.seedTail(i, wOld, w)
 	t.relaxTail(p - 1)
-	// medcc:lint-ignore floateq — bit-exact anchor comparison; a makespan
-	// that moved by less than any epsilon still shifts every slack.
 	return mk != old
 }
 
@@ -519,7 +516,6 @@ func (t *Timing) tailDense() {
 // medcc:floateq-exact — dirty propagation mirrors relaxFwdZero and must use
 // bit-exact comparison for the same reason.
 func (t *Timing) WhatIfMakespan(i int, w float64) float64 {
-	// medcc:lint-ignore floateq — bit-exact no-op detection, as in UpdateNode.
 	if t.nodeW[i] == w {
 		return t.Makespan
 	}

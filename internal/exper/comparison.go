@@ -100,6 +100,8 @@ type CampaignCell struct {
 // improvement across the instances. The paper uses 10 instances and 20
 // levels (4,000 schedule pairs). As in TableIV, each algorithm covers its
 // budget grid with one warm-started sweep per instance.
+//
+// medcc:deterministic — cells are pinned bit-identical to the corpus path
 func Campaign(seed int64, instances, levels int) ([]CampaignCell, error) {
 	sizes := gen.PaperProblemSizes()
 	type instResult struct {

@@ -299,6 +299,8 @@ func TableIVFromCorpus(r io.Reader, levels int) ([]TableIVRow, error) {
 // stream: record k is work item k of the campaign, and its per-item body
 // matches Campaign's, so the cells (and therefore Fig9/Fig10/Fig11) are
 // bit-identical to the regenerate path.
+//
+// medcc:deterministic
 func CampaignFromCorpus(r io.Reader, instances, levels int) ([]CampaignCell, error) {
 	sizes := gen.PaperProblemSizes()
 	total := len(sizes) * instances

@@ -77,6 +77,8 @@ func permInto(rng *rand.Rand, n int, dst []int) []int {
 // Random is the pooled form of the package-level Random: same
 // construction, same draw sequence, but rebuilding the Builder's workflow
 // in place instead of allocating a new one.
+//
+// medcc:deterministic — all randomness comes from the caller's seeded rng
 func (b *Builder) Random(rng *rand.Rand, p Params) (*workflow.Workflow, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -168,6 +170,8 @@ func (b *Builder) Random(rng *rand.Rand, p Params) (*workflow.Workflow, error) {
 // Instance is the pooled form of the package-level Instance: the same
 // workflow parameters and catalog, with the workflow rebuilt in place and
 // the catalog cached per type count.
+//
+// medcc:deterministic — all randomness comes from the caller's seeded rng
 func (b *Builder) Instance(rng *rand.Rand, size ProblemSize) (*workflow.Workflow, cloud.Catalog, error) {
 	w, err := b.Random(rng, Params{
 		Modules:      size.M,

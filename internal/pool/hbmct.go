@@ -16,6 +16,8 @@ import (
 // group's finish time. Unlike HEFT it reasons about a whole group of
 // ready tasks at once, which balances wide fan-outs better on small
 // pools.
+//
+// medcc:deterministic — ties break on task index so runs are replayable
 func HBMCT(p *Pool, w *workflow.Workflow) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

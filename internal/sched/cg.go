@@ -70,6 +70,7 @@ func (g *Greedy) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget flo
 // moved.
 //
 // medcc:allocfree
+// medcc:deterministic — replayed bit-identical by the differential tests
 func (g *Greedy) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
@@ -174,6 +175,8 @@ func (g *Greedy) run(s workflow.Schedule, ctmp *float64, budget float64) {
 // remains — so restarting the drain at b' > b explores exactly the
 // upgrades the larger budget admits, matching a cold run that replayed the
 // same accept sequence.
+//
+// medcc:deterministic — the campaign cells are pinned to this sweep order
 func (g *Greedy) SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
 	if err := checkAscending(budgets); err != nil {
 		return nil, err

@@ -64,6 +64,7 @@ func (g *GAIN) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 //
 // medcc:allocfree — holds for the iterative GAIN2/GAIN3 paths; GAIN1's
 // staticOrder is per-call setup and opts out via medcc:coldpath.
+// medcc:deterministic — replayed bit-identical by the differential tests
 func (g *GAIN) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	switch g.Variant {
 	case 1:
@@ -239,6 +240,8 @@ func (g *GAIN) runHeap(s workflow.Schedule, ctmp *float64, budget float64) {
 // improvement.) The sweep therefore only reuses the engine and the
 // per-level destination buffers; every level is bit-identical to a cold
 // ScheduleInto.
+//
+// medcc:deterministic
 func (g *GAIN) SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
 	if err := checkAscending(budgets); err != nil {
 		return nil, err

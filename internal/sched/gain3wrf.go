@@ -42,6 +42,7 @@ func (g *Gain3WRF) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget f
 // until none is affordable.
 //
 // medcc:allocfree
+// medcc:deterministic — the Table VII replay pins its evaluation order
 func (g *Gain3WRF) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	s, ctmp, err := checkFeasibleInto(w, m, budget, dst)
 	if err != nil {
@@ -96,6 +97,8 @@ func (g *Gain3WRF) runRounds(s workflow.Schedule, ctmp *float64, budget float64)
 
 // SweepInto implements Sweeper: each budget level continues the round loop
 // from the previous level's schedule and candidate caches.
+//
+// medcc:deterministic
 func (g *Gain3WRF) SweepInto(dst []workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budgets []float64) ([]workflow.Schedule, error) {
 	if err := checkAscending(budgets); err != nil {
 		return nil, err

@@ -51,6 +51,7 @@ func (l *LOSS) Schedule(w *workflow.Workflow, m *workflow.Matrices, budget float
 //
 // medcc:allocfree — holds for the iterative LOSS1/LOSS2 paths; LOSS3's
 // staticPass is per-call setup and opts out via medcc:coldpath.
+// medcc:deterministic — replayed bit-identical by the differential tests
 func (l *LOSS) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	e := &l.eng
 	e.bind(w, m)

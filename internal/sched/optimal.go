@@ -158,6 +158,9 @@ const maxFrontierTasks = 4096
 // (per-worker engines, option tables, task slots), so repeated solves of
 // the same instance are allocation-free in steady state on the sequential
 // path and allocate only the goroutine fan-out when parallel.
+//
+// medcc:deterministic — the parallel frontier split merges results in
+// task order, so the chosen optimum is schedule-order independent
 func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *workflow.Matrices, budget float64) (workflow.Schedule, error) {
 	e := &o.eng
 	e.bind(w, m)
@@ -173,7 +176,7 @@ func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *w
 	// the coordinator timing, which also pre-warms the graph's shared topo
 	// order and CSR arrays so the worker goroutines only ever read them.
 	if o.cg == nil {
-		o.cg = CriticalGreedy() // medcc:lint-ignore allocfree — first-use growth
+		o.cg = CriticalGreedy()
 	}
 	seed, err := o.cg.ScheduleInto(o.seedS, w, m, budget)
 	if err != nil {
@@ -210,7 +213,7 @@ func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *w
 	o.planFrontier(workers, len(lc))
 
 	if cap(o.ws) < workers {
-		o.ws = make([]obWorker, workers) // medcc:lint-ignore allocfree — first-use growth
+		o.ws = make([]obWorker, workers)
 	}
 	o.ws = o.ws[:workers]
 
@@ -261,7 +264,7 @@ func (o *Optimal) ScheduleInto(dst workflow.Schedule, w *workflow.Workflow, m *w
 	if len(dst) == len(lc) {
 		o.bestS = dst
 	} else if len(o.bestS) != len(lc) {
-		o.bestS = make(workflow.Schedule, len(lc)) // medcc:lint-ignore allocfree — first-use growth
+		o.bestS = make(workflow.Schedule, len(lc))
 	}
 	if bestIdx >= 0 {
 		copy(o.bestS, sh.taskSched[bestIdx])
@@ -289,15 +292,15 @@ func (o *Optimal) buildBounds() int64 {
 	n := len(m.Catalog)
 	np := len(mods)
 	if cap(o.optOff) < np+1 {
-		o.optOff = make([]int, np+1)        // medcc:lint-ignore allocfree — first-use growth
-		o.suffixMin = make([]float64, np+1) // medcc:lint-ignore allocfree — first-use growth
+		o.optOff = make([]int, np+1)
+		o.suffixMin = make([]float64, np+1)
 	}
 	o.optOff = o.optOff[:np+1]
 	o.suffixMin = o.suffixMin[:np+1]
 	if cap(o.optIdx) < np*n {
-		o.optIdx = make([]int, np*n)    // medcc:lint-ignore allocfree — first-use growth
-		o.optTE = make([]float64, np*n) // medcc:lint-ignore allocfree — first-use growth
-		o.optCE = make([]float64, np*n) // medcc:lint-ignore allocfree — first-use growth
+		o.optIdx = make([]int, np*n)
+		o.optTE = make([]float64, np*n)
+		o.optCE = make([]float64, np*n)
 	}
 	o.optIdx = o.optIdx[:np*n]
 	o.optTE = o.optTE[:np*n]
@@ -379,8 +382,8 @@ func (o *Optimal) planFrontier(workers, nm int) {
 		}
 	}
 	if cap(sh.taskMED) < sh.ntasks {
-		sh.taskMED = make([]float64, sh.ntasks)  // medcc:lint-ignore allocfree — first-use growth
-		sh.taskCost = make([]float64, sh.ntasks) // medcc:lint-ignore allocfree — first-use growth
+		sh.taskMED = make([]float64, sh.ntasks)
+		sh.taskCost = make([]float64, sh.ntasks)
 	}
 	sh.taskMED = sh.taskMED[:sh.ntasks]
 	sh.taskCost = sh.taskCost[:sh.ntasks]
@@ -389,14 +392,14 @@ func (o *Optimal) planFrontier(workers, nm int) {
 		sh.taskCost[t] = math.Inf(1)
 	}
 	if cap(sh.taskSched) < sh.ntasks {
-		next := make([]workflow.Schedule, sh.ntasks) // medcc:lint-ignore allocfree — first-use growth
+		next := make([]workflow.Schedule, sh.ntasks)
 		copy(next, sh.taskSched[:cap(sh.taskSched)])
 		sh.taskSched = next
 	}
 	sh.taskSched = sh.taskSched[:sh.ntasks]
 	for t := range sh.taskSched {
 		if len(sh.taskSched[t]) != nm {
-			sh.taskSched[t] = make(workflow.Schedule, nm) // medcc:lint-ignore allocfree — first-use growth
+			sh.taskSched[t] = make(workflow.Schedule, nm)
 		}
 	}
 }
@@ -408,7 +411,7 @@ func (ws *obWorker) solve(sh *bbShared, w *workflow.Workflow, m *workflow.Matric
 	e := &ws.eng
 	e.bind(w, m)
 	if len(ws.cur) != len(lc) {
-		ws.cur = make(workflow.Schedule, len(lc)) // medcc:lint-ignore allocfree — first-use growth
+		ws.cur = make(workflow.Schedule, len(lc))
 	}
 	copy(ws.cur, lc)
 	for k, i := range sh.mods {
@@ -418,7 +421,7 @@ func (ws *obWorker) solve(sh *bbShared, w *workflow.Workflow, m *workflow.Matric
 		return err
 	}
 	if cap(ws.rank) < sh.split {
-		ws.rank = make([]int, sh.split) // medcc:lint-ignore allocfree — first-use growth
+		ws.rank = make([]int, sh.split)
 	}
 	ws.rank = ws.rank[:sh.split]
 	for k := range ws.rank {

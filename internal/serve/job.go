@@ -137,6 +137,8 @@ type Result struct {
 // fills res. It is the zero-marshaling serving entry point: with a
 // warm Result and a named or caller-owned instance, a call performs no
 // allocations.
+//
+// medcc:onesnapshot — the library snapshot is pinned once at admission
 func (s *Server) Schedule(p Params, res *Result) error {
 	j := s.jobs.Get().(*job)
 	j.reset()

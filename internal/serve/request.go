@@ -260,9 +260,13 @@ func (ds *decodeScratch) containerInstance(j *job, p *Params) error {
 
 // --- HTTP handlers ---
 
+// handleSchedule admits one HTTP scheduling request.
+//
+// medcc:onesnapshot — a request must never mix two library versions:
+// the snapshot is Loaded once at admission and pinned on the job.
 func (s *Server) handleSchedule(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
-		writeError(rw, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		writeError(rw, http.StatusMethodNotAllowed, errPostOnly)
 		return
 	}
 	j := s.jobs.Get().(*job)
@@ -305,7 +309,7 @@ func (s *Server) handleLibrary(rw http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleReload(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
-		writeError(rw, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		writeError(rw, http.StatusMethodNotAllowed, errPostOnly)
 		return
 	}
 	snap, err := s.Reload()

@@ -193,4 +193,5 @@ var (
 	errMissingInput     = errors.New("neither inline value nor library ref given")
 	errBadFraction      = errors.New("budget_fraction must be in [0,1]")
 	errBadParam         = errors.New("invalid parameter")
+	errPostOnly         = errors.New("serve: POST only")
 )

@@ -39,7 +39,6 @@ type pairKey struct{ wf, cat string }
 
 // pairEntry is a prebuilt (workflow, catalog) binding.
 type pairEntry struct {
-	// medcc:lint-ignore epochguard — built once per snapshot and immutable after publish; never rebound behind the pointer
 	m          *workflow.Matrices
 	cmin, cmax float64
 }

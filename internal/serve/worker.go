@@ -112,6 +112,8 @@ func batchLess(a, b *job) bool {
 // worker-owned scratch.
 //
 // medcc:allocfree
+// medcc:deterministic — served schedules are differential-tested
+// bit-identical to direct sched.Run
 func (w *worker) serve(j *job) error {
 	alg := w.algs[j.alg]
 	if alg == nil {

@@ -148,6 +148,7 @@ func (r *Replayer) bind(w *workflow.Workflow, m *workflow.Matrices) {
 // must hold a result past this Replayer's next Run.
 //
 // medcc:allocfree
+// medcc:deterministic
 func (r *Replayer) RunInto(cfg Config, dst *Result) error {
 	res, err := r.Run(cfg)
 	if err != nil {
@@ -162,6 +163,8 @@ func (r *Replayer) RunInto(cfg Config, dst *Result) error {
 // the next Run on this Replayer.
 //
 // medcc:allocfree
+// medcc:deterministic — traces are differential-tested against the
+// analytic timing, so the event loop must replay bit-identically
 func (r *Replayer) Run(cfg Config) (*Result, error) {
 	w, m, s := cfg.Workflow, cfg.Matrices, cfg.Schedule
 	if w == nil || m == nil {

@@ -6,28 +6,36 @@
 #
 # Environment:
 #   MAX_REGRESSION_PCT  allowed ns/op increase per benchmark (default 25)
-#   MAX_ALLOC_DELTA     allowed allocs/op increase per benchmark (default 0:
-#                       any new steady-state allocation is a failure —
-#                       allocation counts are deterministic, so unlike the
-#                       ns/op tolerance this needs no noise headroom)
+#   MAX_ALLOC_DELTA     allowed absolute allocs/op increase per benchmark
+#                       (default 0: any new steady-state allocation is a
+#                       failure for the single-goroutine benchmarks, whose
+#                       allocation counts are deterministic)
+#   MAX_ALLOC_PCT       additional relative allocs/op headroom, percent of
+#                       the baseline (default 0.1). This rounds to zero
+#                       extra slack for the small benchmarks but absorbs
+#                       the few-allocs-in-hundreds-of-thousands scheduling
+#                       jitter of concurrent ones like BenchmarkLintSelf,
+#                       whose wave-parallel type-check allocates on
+#                       goroutine stacks the scheduler sizes nondeterministically.
 #
 # Every benchmark present in both files is compared; the script exits
 # non-zero when any of them is more than MAX_REGRESSION_PCT percent slower
-# or gains more than MAX_ALLOC_DELTA allocs/op in the candidate.
-# Benchmarks that exist in only one file are ignored, so adding or
-# retiring benchmarks never breaks the check.
+# or gains more than MAX_ALLOC_DELTA + MAX_ALLOC_PCT% allocs/op in the
+# candidate. Benchmarks that exist in only one file are ignored, so adding
+# or retiring benchmarks never breaks the check.
 set -eu
 cd "$(dirname "$0")/.."
-BASE="${1:-BENCH_6.json}"
+BASE="${1:-BENCH_7.json}"
 CAND="${2:-.bench.candidate.json}"
 MAX="${MAX_REGRESSION_PCT:-25}"
 MAXALLOC="${MAX_ALLOC_DELTA:-0}"
+MAXALLOCPCT="${MAX_ALLOC_PCT:-0.1}"
 
 for f in "$BASE" "$CAND"; do
 	[ -f "$f" ] || { echo "bench_compare: missing $f" >&2; exit 1; }
 done
 
-awk -v base="$BASE" -v cand="$CAND" -v max="$MAX" -v maxalloc="$MAXALLOC" '
+awk -v base="$BASE" -v cand="$CAND" -v max="$MAX" -v maxalloc="$MAXALLOC" -v maxallocpct="$MAXALLOCPCT" '
 function parse(file, store, alloc,    line, name, ns, al) {
 	while ((getline line < file) > 0) {
 		if (line !~ /ns_per_op/) continue
@@ -58,7 +66,7 @@ BEGIN {
 		if ((name in ba) && (name in ca)) {
 			dalloc = ca[name] - ba[name]
 			note = sprintf("  allocs %d -> %d", ba[name], ca[name])
-			if (dalloc > maxalloc + 0) {
+			if (dalloc > maxalloc + ba[name] * maxallocpct / 100) {
 				bad++; worst[bad] = name " (allocs/op " ba[name] " -> " ca[name] ")"
 			}
 		}
@@ -70,9 +78,9 @@ BEGIN {
 		exit 1
 	}
 	if (bad > 0) {
-		printf "FAIL: %d regression(s) vs %s (limits: ns/op +%s%%, allocs/op +%s):\n", bad, base, max, maxalloc
+		printf "FAIL: %d regression(s) vs %s (limits: ns/op +%s%%, allocs/op +%s+%s%%):\n", bad, base, max, maxalloc, maxallocpct
 		for (i = 1; i <= bad; i++) print "  " worst[i]
 		exit 1
 	}
-	printf "OK: no regressions (%d compared; limits: ns/op +%s%%, allocs/op +%s)\n", n, max, maxalloc
+	printf "OK: no regressions (%d compared; limits: ns/op +%s%%, allocs/op +%s+%s%%)\n", n, max, maxalloc, maxallocpct
 }'

@@ -21,20 +21,20 @@ test:
 	$(GO) test ./...
 
 # Full benchmark sweep, 5 repetitions per name, distilled into
-# BENCH_7.json (see scripts/bench.sh for knobs).
+# BENCH_8.json (see scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
 
 # Run a fresh sweep into an uncommitted candidate snapshot and fail when
 # any benchmark present in both regressed against the committed
-# BENCH_7.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
+# BENCH_8.json baseline: more than 25% in ns/op (MAX_REGRESSION_PCT) or
 # any allocs/op increase (MAX_ALLOC_DELTA, default 0, plus a 0.1%
 # relative MAX_ALLOC_PCT headroom that only matters for concurrent
 # benchmarks). Re-record the baseline with `make bench` when a change is
 # intentional.
 bench-check:
 	scripts/bench.sh .bench.candidate.json
-	scripts/bench_compare.sh BENCH_7.json .bench.candidate.json
+	scripts/bench_compare.sh BENCH_8.json .bench.candidate.json
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

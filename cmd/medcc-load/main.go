@@ -1,18 +1,29 @@
 // Command medcc-load is a closed-loop load generator for medcc-serve:
-// it prebuilds request bodies from a binary workflow corpus (see
-// cmd/wfgen -corpus), drives the /schedule endpoint from -c concurrent
-// clients until -n requests have succeeded, and reports throughput and
-// the p50/p99/p999 latency quantiles.
+// it drives the /schedule endpoint from -c concurrent clients until -n
+// requests have succeeded, and reports throughput, the p50/p99/p999
+// latency quantiles, and the server's cache hit ratio over the run
+// (from GET /stats).
+//
+// Request bodies come from a binary workflow corpus (see cmd/wfgen
+// -corpus), each instance re-encoded as a standalone container body
+// (workflow + inline catalog), so the server needs no preloaded
+// library. With -refs, bodies are skipped entirely: the generator
+// fetches GET /library and sends query-only requests over the server's
+// named (workflow, catalog) pairs — the traffic shape the staircase
+// cache serves.
 //
 // Usage:
 //
 //	wfgen -corpus corpus.medc -count 64 -seed 1
 //	medcc-load -url http://localhost:8080 -corpus corpus.medc -n 1000 -c 8
+//	medcc-load -url http://localhost:8080 -refs -keys zipf -budget-dist grid -n 10000 -c 8
 //
-// Each corpus instance is re-encoded as a standalone container body
-// (workflow + inline catalog), so the server needs no preloaded
-// library. 429 backpressure responses are retried and counted, not
-// treated as errors; any other non-200 status fails the run.
+// -keys zipf skews which instance each request targets (repeat-heavy
+// traffic); -budget-dist picks each request's budget fraction: "fixed"
+// (always -budget), "grid" (random dyadic k/8 — bit-exact staircase
+// hits), or "uniform" (random in [0,1] — mostly cache misses). 429
+// backpressure responses are retried and counted, not treated as
+// errors; any other non-200 status fails the run.
 package main
 
 import (
@@ -21,7 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"sync"
@@ -51,45 +64,101 @@ type report struct {
 	P99Ms      float64 `json:"p99_ms"`
 	P999Ms     float64 `json:"p999_ms"`
 	Retries429 int64   `json:"retries_429"`
+
+	// Cache accounting over the run, from GET /stats deltas. StatsOK is
+	// false (and the rest zero) against servers without the endpoint.
+	StatsOK     bool    `json:"stats_ok"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+}
+
+// serverStats is the slice of the /stats response the generator reads.
+type serverStats struct {
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// libraryListing is the slice of the /library response -refs reads.
+type libraryListing struct {
+	Catalogs  []string `json:"catalogs"`
+	Workflows []string `json:"workflows"`
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("medcc-load", flag.ContinueOnError)
 	var (
-		url      = fs.String("url", "http://localhost:8080", "base URL of a running medcc-serve")
-		corpus   = fs.String("corpus", "", "binary workflow corpus to draw request bodies from (required)")
-		n        = fs.Int("n", 1000, "total requests")
-		c        = fs.Int("c", 4, "concurrent closed-loop clients")
-		maxBody  = fs.Int("instances", 64, "cap on distinct corpus instances to prebuild (cycled round-robin)")
-		frac     = fs.Float64("budget", 0.5, "budget as a fraction of each instance's feasible range")
-		alg      = fs.String("alg", "", "algorithm name (server default when empty)")
-		simulate = fs.Bool("simulate", false, "request simulated traces")
-		asJSON   = fs.Bool("json", false, "print the report as JSON")
+		base       = fs.String("url", "http://localhost:8080", "base URL of a running medcc-serve")
+		corpus     = fs.String("corpus", "", "binary workflow corpus to draw request bodies from")
+		refs       = fs.Bool("refs", false, "query-only traffic over the server's /library pairs instead of corpus bodies")
+		n          = fs.Int("n", 1000, "total requests")
+		c          = fs.Int("c", 4, "concurrent closed-loop clients")
+		maxBody    = fs.Int("instances", 64, "cap on distinct corpus instances to prebuild (cycled round-robin)")
+		frac       = fs.Float64("budget", 0.5, "budget as a fraction of each instance's feasible range")
+		budgetDist = fs.String("budget-dist", "fixed", "per-request budget fraction: fixed, grid (dyadic k/8), uniform")
+		keys       = fs.String("keys", "uniform", "instance selection: uniform (round-robin) or zipf (repeat-heavy)")
+		zipfS      = fs.Float64("zipf-s", 1.2, "zipf skew parameter s > 1 for -keys zipf")
+		seed       = fs.Int64("seed", 1, "seed for -keys zipf and -budget-dist draws")
+		alg        = fs.String("alg", "", "algorithm name (server default when empty)")
+		simulate   = fs.Bool("simulate", false, "request simulated traces")
+		asJSON     = fs.Bool("json", false, "print the report as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *corpus == "" {
-		return fmt.Errorf("-corpus is required")
+	if *corpus == "" && !*refs {
+		return fmt.Errorf("either -corpus or -refs is required")
+	}
+	if *corpus != "" && *refs {
+		return fmt.Errorf("-corpus and -refs are mutually exclusive")
 	}
 	if *n <= 0 || *c <= 0 || *maxBody <= 0 {
 		return fmt.Errorf("-n, -c, and -instances must be positive")
 	}
-
-	bodies, err := prebuild(*corpus, *maxBody)
-	if err != nil {
-		return err
+	switch *keys {
+	case "uniform", "zipf":
+	default:
+		return fmt.Errorf("-keys must be uniform or zipf, got %q", *keys)
 	}
-	target := fmt.Sprintf("%s/schedule?budget_fraction=%g", *url, *frac)
+	switch *budgetDist {
+	case "fixed", "grid", "uniform":
+	default:
+		return fmt.Errorf("-budget-dist must be fixed, grid, or uniform, got %q", *budgetDist)
+	}
+	if *keys == "zipf" && *zipfS <= 1 {
+		return fmt.Errorf("-zipf-s must be > 1, got %v", *zipfS)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// The request key space: prebuilt container bodies, or query-only
+	// (workflow, catalog) ref pairs from the live server's library.
+	var bodies [][]byte
+	var pairs [][2]string
+	var err error
+	if *refs {
+		if pairs, err = libraryPairs(client, *base); err != nil {
+			return err
+		}
+	} else {
+		if bodies, err = prebuild(*corpus, *maxBody); err != nil {
+			return err
+		}
+	}
+	nkeys := len(bodies) + len(pairs)
+
+	extra := ""
 	if *alg != "" {
-		target += "&algorithm=" + *alg
+		extra += "&algorithm=" + url.QueryEscape(*alg)
 	}
 	if *simulate {
-		target += "&simulate=true"
+		extra += "&simulate=true"
 	}
 
+	statsBefore, statsOK := fetchStats(client, *base)
+
 	var (
-		next    atomic.Int64 // request tickets; body i%len(bodies)
+		next    atomic.Int64 // request tickets; uniform keys use i%nkeys
 		retries atomic.Int64
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -103,18 +172,40 @@ func run(args []string, stdout io.Writer) error {
 		}
 		mu.Unlock()
 	}
-	client := &http.Client{Timeout: 60 * time.Second}
 	start := time.Now()
 	for k := 0; k < *c; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(k)*1_000_003))
+			var zipf *rand.Zipf
+			if *keys == "zipf" {
+				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(nkeys-1))
+			}
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(*n) {
 					return
 				}
-				body := bodies[i%int64(len(bodies))]
+				key := int(i % int64(nkeys))
+				if zipf != nil {
+					key = int(zipf.Uint64())
+				}
+				f := *frac
+				switch *budgetDist {
+				case "grid":
+					f = float64(rng.Intn(9)) / 8
+				case "uniform":
+					f = rng.Float64()
+				}
+				target := fmt.Sprintf("%s/schedule?budget_fraction=%g%s", *base, f, extra)
+				var body []byte
+				if *refs {
+					p := pairs[key]
+					target += "&workflow=" + url.QueryEscape(p[0]) + "&catalog=" + url.QueryEscape(p[1])
+				} else {
+					body = bodies[key]
+				}
 				for {
 					t0 := time.Now()
 					status, err := post(client, target, body)
@@ -138,7 +229,7 @@ func run(args []string, stdout io.Writer) error {
 					break
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
@@ -148,12 +239,22 @@ func run(args []string, stdout io.Writer) error {
 
 	sort.Float64s(lats)
 	rep := report{
-		Requests: len(lats), Clients: *c, Bodies: len(bodies),
+		Requests: len(lats), Clients: *c, Bodies: nkeys,
 		Seconds: elapsed, PerSecond: float64(len(lats)) / elapsed,
 		P50Ms:      stats.Percentile(lats, 50) * 1e3,
 		P99Ms:      stats.Percentile(lats, 99) * 1e3,
 		P999Ms:     stats.Percentile(lats, 99.9) * 1e3,
 		Retries429: retries.Load(),
+	}
+	if statsOK {
+		if after, ok := fetchStats(client, *base); ok {
+			rep.StatsOK = true
+			rep.CacheHits = after.CacheHits - statsBefore.CacheHits
+			rep.CacheMisses = after.CacheMisses - statsBefore.CacheMisses
+			if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+				rep.HitRatio = float64(rep.CacheHits) / float64(total)
+			}
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
@@ -163,6 +264,10 @@ func run(args []string, stdout io.Writer) error {
 		rep.Requests, rep.Clients, rep.Bodies, rep.PerSecond, rep.Seconds)
 	fmt.Fprintf(stdout, "latency p50 %.3fms  p99 %.3fms  p999 %.3fms  (429 retries: %d)\n",
 		rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.Retries429)
+	if rep.StatsOK {
+		fmt.Fprintf(stdout, "cache: %d hits / %d misses (hit ratio %.1f%%)\n",
+			rep.CacheHits, rep.CacheMisses, rep.HitRatio*100)
+	}
 	return nil
 }
 
@@ -174,6 +279,52 @@ func post(client *http.Client, url string, body []byte) (int, error) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// fetchStats reads the server's cache counters; ok is false when the
+// endpoint is missing (older servers) or unreadable.
+func fetchStats(client *http.Client, base string) (serverStats, bool) {
+	var st serverStats
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false
+	}
+	return st, true
+}
+
+// libraryPairs fetches GET /library and crosses every workflow with
+// every catalog — the named pairs the snapshot has prebuilt.
+func libraryPairs(client *http.Client, base string) ([][2]string, error) {
+	resp, err := client.Get(base + "/library")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /library: status %d", resp.StatusCode)
+	}
+	var lib libraryListing
+	if err := json.NewDecoder(resp.Body).Decode(&lib); err != nil {
+		return nil, fmt.Errorf("GET /library: %w", err)
+	}
+	var pairs [][2]string
+	for _, w := range lib.Workflows {
+		for _, c := range lib.Catalogs {
+			pairs = append(pairs, [2]string{w, c})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("server library lists no (workflow, catalog) pairs")
+	}
+	return pairs, nil
 }
 
 // prebuild reads up to max corpus instances and re-encodes each as a

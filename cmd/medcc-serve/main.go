@@ -10,10 +10,15 @@
 //	medcc-serve -addr :8080
 //	medcc-serve -workers 8 -queue 64 -batch 16 \
 //	    -catalog prod=catalog.json -workflow montage=montage.json
+//	medcc-serve -cache-mem 67108864 -cache-levels 65
 //
 // Loaded libraries are served as versioned immutable snapshots; POST
 // /reload re-reads every -catalog/-workflow source without dropping
-// in-flight requests.
+// in-flight requests. Named (workflow, catalog, algorithm) triples are
+// answered from a snapshot-scoped budget-staircase cache (GET /stats
+// reports hit rates); -cache=false disables it, -cache-levels bounds
+// each staircase's refined budget grid, and -cache-mem caps resident
+// staircase bytes with LRU eviction.
 package main
 
 import (
@@ -62,10 +67,13 @@ func (np namedPaths) Set(v string) error {
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("medcc-serve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "scheduling workers (default GOMAXPROCS)")
-		queue   = fs.Int("queue", 0, "admission queue depth (default 4x workers; full queue replies 429)")
-		batch   = fs.Int("batch", 0, "max jobs one worker drains per batch (default 16)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "scheduling workers (default GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "admission queue depth (default 4x workers; full queue replies 429)")
+		batch       = fs.Int("batch", 0, "max jobs one worker drains per batch (default 16)")
+		cache       = fs.Bool("cache", true, "serve named pairs from the snapshot-scoped staircase cache")
+		cacheLevels = fs.Int("cache-levels", 0, "max budget levels per staircase after refinement (default 33)")
+		cacheMem    = fs.Int64("cache-mem", 0, "resident staircase byte cap per snapshot, LRU-evicted (0 = unlimited)")
 	)
 	catalogs := namedPaths{}
 	workflows := namedPaths{}
@@ -83,6 +91,11 @@ func run(args []string, ready chan<- string) error {
 		QueueDepth: *queue,
 		MaxBatch:   *batch,
 		Library:    serve.Library{Catalogs: catalogs, Workflows: workflows},
+		Cache: serve.CacheConfig{
+			Disable:   !*cache,
+			MaxLevels: *cacheLevels,
+			MaxBytes:  *cacheMem,
+		},
 	})
 	if err != nil {
 		return err

@@ -135,3 +135,47 @@ func serveAllocating(src []int, med float64) *servReq {
 	r.note = "served " + r.note              // want "string concatenation allocates"
 	return r
 }
+
+// stairCache mirrors a frozen budget staircase: SoA columns indexed by
+// level, with per-level schedule rows copied into a pooled response on
+// a cache hit.
+type stairCache struct {
+	budgets []float64
+	meds    []float64
+	rows    [][]int
+}
+
+// hitWarm is the correct cache-hit path — manual binary search over the
+// budget column plus a self-append row copy into the pooled request —
+// so the walk reports nothing.
+//
+// medcc:allocfree
+func hitWarm(c *stairCache, r *servReq, budget float64) bool {
+	lo, hi := 0, len(c.budgets)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.budgets[mid] < budget {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.budgets) || c.budgets[lo] != budget {
+		return false
+	}
+	r.sched = append(r.sched[:0], c.rows[lo]...)
+	r.makespan = c.meds[lo]
+	return true
+}
+
+// hitAllocating seeds the cache-hit violation: materializing a fresh
+// response per hit instead of filling the job's pooled buffers, which
+// turns the zero-alloc fast path back into a per-request allocation.
+//
+// medcc:allocfree
+func hitAllocating(c *stairCache, level int) *servReq {
+	row := make([]int, len(c.rows[level]))             // want "make allocates"
+	r := &servReq{sched: row, makespan: c.meds[level]} // want "address-taken composite literal escapes to the heap"
+	copy(r.sched, c.rows[level])
+	return r
+}

@@ -62,3 +62,37 @@ func (s *server) rever() int {
 func (s *server) reload() *snapshot {
 	return s.snap.Load()
 }
+
+type stairs struct{ budgets []float64 }
+
+// cacheFront mirrors the staircase cache front end: each slot holds an
+// installed-staircase pointer swapped by the builder (and cleared by
+// eviction), plus scalar hit counters.
+type cacheFront struct {
+	stair atomic.Pointer[stairs]
+	hits  atomic.Int64
+}
+
+// dispatch is a request root: the staircase is pinned by the first
+// Load, and the whole hit must be answered from that pin.
+//
+// medcc:onesnapshot
+func (c *cacheFront) dispatch() int {
+	st := c.stair.Load()
+	if st == nil {
+		return 0
+	}
+	c.hits.Add(1)
+	return len(st.budgets) + c.width()
+}
+
+// width re-Loads the swappable staircase pointer mid-request: a
+// concurrent install or eviction between the two Loads hands the
+// request rows from one staircase and budgets from another.
+func (c *cacheFront) width() int {
+	st := c.stair.Load() // want "second Load of atomic pointer stair"
+	if st == nil {
+		return 0
+	}
+	return len(st.budgets)
+}

@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"medcc/internal/sched"
+	"medcc/internal/workflow"
+)
+
+// The staircase cache exploits MED-CC's central structure: for a fixed
+// (workflow, catalog, algorithm) triple the scheduler's answer is a
+// pure step function of the budget, so one grid sweep (sched.SweepGrid)
+// materializes every answer the triple will ever give at grid budgets.
+// The cache is snapshot-scoped and immutable by construction: every
+// slot a snapshot can ever serve is preallocated at snapshot build
+// (workflows × catalogs × servable algorithms), the slot map is never
+// written after publication, and the only mutable state is per-slot
+// atomics. A reload builds a fresh empty cache with the fresh snapshot,
+// so there is no invalidation protocol — in-flight requests keep the
+// cache of the snapshot they pinned at admission, exactly like the
+// snapshot itself.
+//
+// Hit path: one map read, one atomic.Pointer Load, one exact-match
+// binary search, one SoA row copy — no locks, no engine, 0 allocs/op.
+// Only bit-exact budget matches hit; anything between grid levels falls
+// through to the direct scheduling path, which is what makes cached
+// responses trivially bit-identical to direct sched.Run (grid levels
+// themselves are independent cold solves, see sched.SweepGrid).
+//
+// Miss path: the first miss on a slot wins a CAS latch (singleflight)
+// and rides its own request to a worker, which answers the request
+// first (direct path, nothing waits on the sweep) and then builds and
+// installs the staircase. Concurrent misses lose the CAS and just take
+// the direct path; they never block on the build.
+
+// CacheConfig sizes the snapshot-scoped staircase cache.
+type CacheConfig struct {
+	// Disable turns the cache off: snapshots carry no cache and every
+	// request takes the direct scheduling path.
+	Disable bool
+	// InitLevels is the uniform starting budget grid per staircase
+	// (default 9; a power-of-two-plus-one keeps the grid dyadic).
+	InitLevels int
+	// MaxLevels caps a staircase's grid after adaptive refinement
+	// (default 33).
+	MaxLevels int
+	// MaxBytes caps resident staircase bytes per snapshot; 0 means
+	// unlimited. Over the cap, least-recently-used staircases are
+	// evicted on the install path.
+	MaxBytes int64
+}
+
+// cacheKey identifies one staircase within a snapshot. The snapshot
+// version is deliberately absent: the cache lives inside its snapshot.
+type cacheKey struct{ alg, wf, cat string }
+
+// cacheSlot is the per-key state. stair flips nil → frozen staircase
+// exactly once per build; building is the singleflight latch; lastUse
+// is a logical-clock stamp for LRU eviction.
+type cacheSlot struct {
+	stair    atomic.Pointer[staircase]
+	building atomic.Bool
+	lastUse  atomic.Int64
+}
+
+// staircase is the frozen, immutable result of one grid sweep in SoA
+// layout: per-level budgets/MEDs/costs/truncation plus distinct
+// schedules flattened into one backing array (level[k] selects row
+// flat[level[k]*nm : ...]). Readers share it freely; nothing is ever
+// written after freeze.
+type staircase struct {
+	budgets []float64
+	meds    []float64
+	costs   []float64
+	trunc   []bool
+	level   []int32
+	flat    []int
+	nm      int
+	bytes   int64
+}
+
+// lookup binary-searches for a bit-exact budget match.
+//
+// medcc:floateq-exact — grid membership is bit-exact by construction:
+// request budgets and grid budgets both come from sched.BudgetAt over
+// identical (cmin, cmax, fraction) inputs.
+//
+// medcc:allocfree
+func (st *staircase) lookup(budget float64) (int, bool) {
+	lo, hi := 0, len(st.budgets)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.budgets[mid] < budget {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.budgets) && st.budgets[lo] == budget {
+		return lo, true
+	}
+	return 0, false
+}
+
+// fill copies level k into the job's pooled result fields — the entire
+// work of a cache hit.
+//
+// medcc:allocfree
+func (st *staircase) fill(j *job, k int) {
+	row := int(st.level[k]) * st.nm
+	j.sched = append(j.sched[:0], st.flat[row:row+st.nm]...)
+	j.makespan = st.meds[k]
+	j.cost = st.costs[k]
+	j.truncated = st.trunc != nil && st.trunc[k]
+}
+
+// scheduleCache is one snapshot's cache. slots is immutable after
+// newScheduleCache returns; keys is the sorted iteration order (the
+// collect-then-sort idiom, so eviction and stats are deterministic).
+type scheduleCache struct {
+	slots map[cacheKey]*cacheSlot
+	keys  []cacheKey
+
+	initLevels int
+	maxLevels  int
+	maxBytes   int64
+
+	clock atomic.Int64 // logical time for LRU stamps
+	bytes atomic.Int64 // resident staircase bytes
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	builds    atomic.Int64
+
+	// evictMu serializes install-path eviction scans. Never taken on
+	// the hit path.
+	evictMu sync.Mutex
+}
+
+// newScheduleCache preallocates a slot for every triple the snapshot
+// can serve. Slots are tiny (three words of atomics); even a large
+// library × the full algorithm registry stays in the kilobytes.
+func newScheduleCache(snap *Snapshot, algs map[string]bool, cc CacheConfig) *scheduleCache {
+	if cc.InitLevels <= 0 {
+		cc.InitLevels = 9
+	}
+	if cc.MaxLevels <= 0 {
+		cc.MaxLevels = 33
+	}
+	c := &scheduleCache{
+		initLevels: cc.InitLevels,
+		maxLevels:  cc.MaxLevels,
+		maxBytes:   cc.MaxBytes,
+	}
+	algNames := sortedKeys(algs)
+	n := len(algNames) * len(snap.wfNames) * len(snap.catNames)
+	c.slots = make(map[cacheKey]*cacheSlot, n)
+	c.keys = make([]cacheKey, 0, n)
+	for _, alg := range algNames {
+		for _, wf := range snap.wfNames {
+			for _, cat := range snap.catNames {
+				k := cacheKey{alg: alg, wf: wf, cat: cat}
+				c.slots[k] = &cacheSlot{}
+				c.keys = append(c.keys, k)
+			}
+		}
+	}
+	sort.Slice(c.keys, func(i, j int) bool {
+		a, b := c.keys[i], c.keys[j]
+		if a.alg != b.alg {
+			return a.alg < b.alg
+		}
+		if a.wf != b.wf {
+			return a.wf < b.wf
+		}
+		return a.cat < b.cat
+	})
+	return c
+}
+
+// slot returns the key's slot, or nil for triples outside the snapshot.
+//
+// medcc:allocfree
+func (c *scheduleCache) slot(alg, wf, cat string) *cacheSlot {
+	return c.slots[cacheKey{alg: alg, wf: wf, cat: cat}]
+}
+
+// dispatch is the cache front end, between prepare and the admission
+// queue: serve a bit-exact grid hit from the pinned snapshot's
+// staircase without touching a worker, otherwise fall through to submit
+// — arming the singleflight build latch when this miss is the slot's
+// first. Simulated-trace requests and inline instances bypass the cache
+// (j.cacheable is set only for named snapshot pairs).
+//
+// medcc:allocfree
+func (s *Server) dispatch(j *job) error {
+	c := j.snap.cache
+	if c == nil || !j.cacheable || j.simulate {
+		return s.submit(j)
+	}
+	slot := c.slot(j.alg, j.wfRef, j.catRef)
+	if slot == nil {
+		return s.submit(j)
+	}
+	if st := slot.stair.Load(); st != nil {
+		if k, ok := st.lookup(j.budget); ok {
+			slot.lastUse.Store(c.clock.Add(1))
+			c.hits.Add(1)
+			st.fill(j, k)
+			return nil
+		}
+	} else if slot.building.CompareAndSwap(false, true) {
+		j.buildSlot = slot
+		j.buildCache = c
+	}
+	c.misses.Add(1)
+	err := s.submit(j)
+	if err != nil && j.buildSlot != nil {
+		// The job never reached a worker (full queue, closing server):
+		// release the latch so a later miss can claim the build. A job a
+		// worker did serve always has buildSlot cleared (captureBuild)
+		// before the done signal, whatever its j.err.
+		j.buildSlot.building.Store(false)
+		j.buildSlot, j.buildCache = nil, nil
+	}
+	return err
+}
+
+// install publishes a frozen staircase and applies the memory cap.
+// Runs on a worker after the triggering request was answered — the cold
+// path by construction.
+//
+// medcc:coldpath
+func (c *scheduleCache) install(slot *cacheSlot, fz *staircase) {
+	c.evictMu.Lock()
+	slot.stair.Store(fz)
+	slot.lastUse.Store(c.clock.Add(1))
+	c.bytes.Add(fz.bytes)
+	c.builds.Add(1)
+	if c.maxBytes > 0 {
+		c.evictLocked(slot)
+	}
+	c.evictMu.Unlock()
+	slot.building.Store(false)
+}
+
+// evictLocked drops least-recently-used staircases (never the one just
+// installed) until resident bytes fit the cap. Ties break on sorted key
+// order, so eviction is deterministic. Evicted staircases stay valid
+// for readers that already Loaded them — they are immutable; only the
+// slot forgets them.
+func (c *scheduleCache) evictLocked(keep *cacheSlot) {
+	for c.bytes.Load() > c.maxBytes {
+		var victim *cacheSlot
+		var oldest int64
+		for _, k := range c.keys {
+			slot := c.slots[k]
+			if slot == keep || slot.stair.Load() == nil {
+				continue
+			}
+			if use := slot.lastUse.Load(); victim == nil || use < oldest {
+				victim, oldest = slot, use
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if fz := victim.stair.Swap(nil); fz != nil {
+			c.bytes.Add(-fz.bytes)
+			c.evictions.Add(1)
+		}
+	}
+}
+
+// staircases counts installed staircases (stats path).
+func (c *scheduleCache) staircases() int {
+	n := 0
+	for _, k := range c.keys {
+		if c.slots[k].stair.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// buildReq carries everything a worker needs to build a staircase after
+// it has acked the triggering job: the job returns to the frontend pool
+// on the done signal, so its fields must be copied out first. All
+// referenced state is owned by the pinned (immutable) snapshot, so the
+// copies stay valid for the duration of the build.
+//
+// buildReq deliberately has no methods: it is a single-build value on
+// the worker stack, dead before the snapshot it references can change.
+type buildReq struct {
+	slot          *cacheSlot
+	cache         *scheduleCache
+	snap          *Snapshot
+	w             *workflow.Workflow
+	alg           string
+	wfRef, catRef string
+}
+
+// captureBuild lifts a pending build off a served job, before the done
+// signal releases the job back to the frontend.
+//
+// medcc:allocfree
+func captureBuild(j *job) buildReq {
+	if j.buildSlot == nil {
+		return buildReq{}
+	}
+	br := buildReq{
+		slot:   j.buildSlot,
+		cache:  j.buildCache,
+		snap:   j.snap,
+		w:      j.w,
+		alg:    j.alg,
+		wfRef:  j.wfRef,
+		catRef: j.catRef,
+	}
+	j.buildSlot, j.buildCache = nil, nil
+	return br
+}
+
+// buildStaircase runs the grid sweep for one slot and installs the
+// frozen result. Any failure just releases the singleflight latch — a
+// later miss retries; requests were never waiting on this.
+//
+// medcc:coldpath — once per (snapshot, workflow, catalog, algorithm).
+func (w *worker) buildStaircase(br buildReq) {
+	alg := w.algs[br.alg]
+	m, cmin, cmax, ok := br.snap.Pair(br.wfRef, br.catRef)
+	if alg == nil || !ok {
+		br.slot.building.Store(false)
+		return
+	}
+	st, err := sched.SweepGrid(alg, br.w, m, cmin, cmax, sched.GridOptions{
+		InitLevels: br.cache.initLevels,
+		MaxLevels:  br.cache.maxLevels,
+	})
+	if err != nil {
+		br.slot.building.Store(false)
+		return
+	}
+	fz, err := w.freezeStaircase(st, br.w, m)
+	if err != nil {
+		br.slot.building.Store(false)
+		return
+	}
+	br.cache.install(br.slot, fz)
+}
+
+// freezeStaircase evaluates and flattens a sweep into the immutable SoA
+// form. MED and cost are computed once per distinct schedule through
+// the worker's own pooled timing — the exact code path the direct serve
+// response uses — then broadcast across the levels sharing it, so a hit
+// reproduces the direct response bit for bit.
+//
+// medcc:coldpath
+func (w *worker) freezeStaircase(st *sched.Staircase, wf *workflow.Workflow, m *workflow.Matrices) (*staircase, error) {
+	nLev, nDis := st.Levels(), st.Steps()
+	nm := len(st.Scheds[0])
+	fz := &staircase{
+		budgets: make([]float64, nLev),
+		meds:    make([]float64, nLev),
+		costs:   make([]float64, nLev),
+		level:   make([]int32, nLev),
+		flat:    make([]int, nDis*nm),
+		nm:      nm,
+	}
+	copy(fz.budgets, st.Budgets)
+	copy(fz.level, st.Level)
+	if st.Trunc != nil {
+		fz.trunc = make([]bool, nLev)
+		copy(fz.trunc, st.Trunc)
+	}
+	disMED := make([]float64, nDis)
+	disCost := make([]float64, nDis)
+	for d, s := range st.Scheds {
+		copy(fz.flat[d*nm:(d+1)*nm], s)
+		med, err := w.evalMED(wf, m, s)
+		if err != nil {
+			return nil, err
+		}
+		disMED[d] = med
+		disCost[d] = m.Cost(s)
+	}
+	for k := 0; k < nLev; k++ {
+		fz.meds[k] = disMED[fz.level[k]]
+		fz.costs[k] = disCost[fz.level[k]]
+	}
+	fz.bytes = staircaseBytes(nLev, nDis, nm, fz.trunc != nil)
+	return fz, nil
+}
+
+// staircaseBytes is the resident-size model used for the memory cap:
+// the SoA backing arrays plus the struct header.
+func staircaseBytes(nLev, nDis, nm int, hasTrunc bool) int64 {
+	b := int64(nLev) * (8 + 8 + 8 + 4) // budgets, meds, costs, level
+	b += int64(nDis) * int64(nm) * 8   // flat schedules
+	if hasTrunc {
+		b += int64(nLev)
+	}
+	return b + 128
+}

@@ -11,22 +11,29 @@ import (
 	"medcc/internal/workflow"
 )
 
-// fuzzSrv is built once per fuzz process: the target exercises request
-// decoding, not server construction.
+// fuzzSrv/fuzzUncached are built once per fuzz process: the target
+// exercises request decoding and the cache front end, not server
+// construction. The pair differs only in the cache, so any divergence
+// between their responses is a cache bug.
 var (
-	fuzzOnce sync.Once
-	fuzzSrv  *Server
+	fuzzOnce     sync.Once
+	fuzzSrv      *Server
+	fuzzUncached *Server
 )
 
-func fuzzHandler(f *testing.F) http.Handler {
+func fuzzHandlers(f *testing.F) (cached, uncached http.Handler) {
 	fuzzOnce.Do(func() {
 		s, err := New(Config{Workers: 2})
 		if err != nil {
 			f.Fatal(err)
 		}
-		fuzzSrv = s
+		u, err := New(Config{Workers: 2, Cache: CacheConfig{Disable: true}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzSrv, fuzzUncached = s, u
 	})
-	return fuzzSrv.Handler()
+	return fuzzSrv.Handler(), fuzzUncached.Handler()
 }
 
 // FuzzServeRequest feeds arbitrary bodies and query strings through the
@@ -55,8 +62,20 @@ func FuzzServeRequest(f *testing.F) {
 	f.Add("workflow=example&catalog=paper&budget=1e308", []byte(nil))
 	f.Add("budget=100", []byte(`{"workflow":{"modules":[{"name":"a"`))
 	f.Add("budget=nan&workflow=example&catalog=paper", []byte("\xef\xbb\xbf{}"))
+	// Cache-path seeds: staircase grid boundaries (0, dyadic interior
+	// points, 1), an off-grid fraction that must fall through, absolute
+	// budgets far outside the grid, an out-of-range fraction, and a
+	// cacheable pair under a non-default algorithm.
+	f.Add("workflow=example&catalog=paper&budget_fraction=0", []byte{})
+	f.Add("workflow=example&catalog=paper&budget_fraction=0.125", []byte{})
+	f.Add("workflow=example&catalog=paper&budget_fraction=1", []byte{})
+	f.Add("workflow=example&catalog=paper&budget_fraction=0.3", []byte{})
+	f.Add("workflow=example&catalog=paper&budget=1e300", []byte{})
+	f.Add("workflow=example&catalog=paper&budget=0", []byte{})
+	f.Add("workflow=example&catalog=paper&budget_fraction=-0.5", []byte{})
+	f.Add("workflow=example&catalog=paper&budget_fraction=0.5&algorithm=gain1", []byte{})
 
-	h := fuzzHandler(f)
+	ch, uh := fuzzHandlers(f)
 	f.Fuzz(func(t *testing.T, query string, body []byte) {
 		// Set RawQuery directly: the server must survive any query
 		// string the transport would deliver, including ones the
@@ -64,9 +83,28 @@ func FuzzServeRequest(f *testing.F) {
 		req := httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(body))
 		req.URL.RawQuery = query
 		rw := httptest.NewRecorder()
-		h.ServeHTTP(rw, req) // must not panic
+		ch.ServeHTTP(rw, req) // must not panic
 		if rw.Code >= 500 {
 			t.Fatalf("query %q body %q: status %d: %s", query, body, rw.Code, rw.Body.Bytes())
+		}
+
+		// Replay on the cache-disabled twin: whether the cached server
+		// answered from a staircase or the direct path, status and body
+		// must agree exactly (both serve deterministic schedulers over
+		// identical snapshots).
+		req = httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(body))
+		req.URL.RawQuery = query
+		rwU := httptest.NewRecorder()
+		uh.ServeHTTP(rwU, req)
+		if busy := http.StatusTooManyRequests; rw.Code == busy || rwU.Code == busy {
+			return // backpressure depends on queue state, not the input
+		}
+		if rw.Code != rwU.Code {
+			t.Fatalf("query %q body %q: cached status %d != uncached %d", query, body, rw.Code, rwU.Code)
+		}
+		if rw.Code == http.StatusOK && !bytes.Equal(rw.Body.Bytes(), rwU.Body.Bytes()) {
+			t.Fatalf("query %q body %q: cached and uncached responses differ\ncached:   %s\nuncached: %s",
+				query, body, rw.Body.Bytes(), rwU.Body.Bytes())
 		}
 	})
 }

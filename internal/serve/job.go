@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"medcc/internal/cloud"
+	"medcc/internal/sched"
 	"medcc/internal/sim"
 	"medcc/internal/workflow"
 )
@@ -46,6 +47,14 @@ type job struct {
 	// Batch-grouping key parts: empty for inline instances.
 	wfRef, catRef string
 
+	// cacheable marks named snapshot pairs — the only requests the
+	// staircase cache serves. buildSlot/buildCache are armed by dispatch
+	// when this request's miss won the singleflight latch; the worker
+	// captures them (captureBuild) before the done signal.
+	cacheable  bool
+	buildSlot  *cacheSlot
+	buildCache *scheduleCache
+
 	// Job-owned pooled instance storage for inline requests.
 	// medcc:lint-ignore epochguard — owner: the job rebuilds ownW in place per request and rebinds ownM immediately after
 	ownW *workflow.Workflow
@@ -76,6 +85,8 @@ func (j *job) reset() {
 	j.budget, j.boot, j.bw, j.delay = 0, 0, 0, 0
 	j.slots = 0
 	j.simulate = false
+	j.cacheable = false
+	j.buildSlot, j.buildCache = nil, nil
 	j.makespan, j.cost = 0, 0
 	j.truncated = false
 	j.err = nil
@@ -86,6 +97,7 @@ func (j *job) reset() {
 // (or a request-scoped instance) alive.
 func (j *job) release() {
 	j.snap, j.w, j.m = nil, nil, nil
+	j.buildSlot, j.buildCache = nil, nil
 	j.err = nil
 }
 
@@ -174,6 +186,7 @@ func (s *Server) prepare(j *job, p Params) error {
 		}
 		j.w, j.m = snap.Workflows[p.WorkflowRef], m
 		j.wfRef, j.catRef = p.WorkflowRef, p.CatalogRef
+		j.cacheable = true
 		cmin, cmax = lo, hi
 	default:
 		w := p.Workflow
@@ -214,21 +227,25 @@ func (s *Server) prepare(j *job, p Params) error {
 		if p.Fraction < 0 || p.Fraction > 1 {
 			return &RequestError{Op: "budget", Err: errBadFraction}
 		}
-		j.budget = cmin + p.Fraction*(cmax-cmin)
+		// sched.BudgetAt is the one budget-resolution expression shared
+		// with the staircase builder: grid hits are bit-exact matches, so
+		// both sides must round identically.
+		j.budget = sched.BudgetAt(cmin, cmax, p.Fraction)
 	} else {
 		j.budget = p.Budget
 	}
 	return nil
 }
 
-// schedule is the request hot path: admission, the cross-worker round
-// trip, and the response struct fill. Everything from here to the
+// schedule is the request hot path: cache dispatch (a staircase hit
+// returns here without touching a worker), admission, the cross-worker
+// round trip, and the response struct fill. Everything from here to the
 // worker's schedule computation is allocation-free; only the HTTP
 // frontend's JSON marshaling (deliberately outside this root) allocates.
 //
 // medcc:allocfree
 func (s *Server) schedule(j *job, res *Result) error {
-	if err := s.submit(j); err != nil {
+	if err := s.dispatch(j); err != nil {
 		return err
 	}
 	res.Schedule = append(res.Schedule[:0], j.sched...)

@@ -276,7 +276,7 @@ func (s *Server) handleSchedule(rw http.ResponseWriter, req *http.Request) {
 	ds.br.Reset(nil)
 	s.scratch.Put(ds)
 	if err == nil {
-		err = s.submit(j)
+		err = s.dispatch(j)
 	}
 	if err != nil {
 		writeError(rw, statusOf(err), err)
@@ -305,6 +305,33 @@ func (s *Server) handleLibrary(rw http.ResponseWriter, req *http.Request) {
 		Workflows:       snap.WorkflowNames(),
 		Algorithms:      s.Algorithms(),
 	})
+}
+
+// handleStats reports the pinned snapshot's cache counters plus queue
+// and worker load. It reads the same atomics the hot path writes; the
+// marshaling cost lives here, never on the request path.
+func (s *Server) handleStats(rw http.ResponseWriter, req *http.Request) {
+	snap := s.snap.Load()
+	resp := statsResponse{
+		SnapshotVersion: snap.Version,
+		Workers:         len(s.workers),
+		BusyWorkers:     int(s.busy.Load()),
+		QueueLen:        len(s.queue),
+		QueueDepth:      cap(s.queue),
+	}
+	if resp.Workers > 0 {
+		resp.BusyFraction = float64(resp.BusyWorkers) / float64(resp.Workers)
+	}
+	if c := snap.cache; c != nil {
+		resp.CacheEnabled = true
+		resp.CacheHits = c.hits.Load()
+		resp.CacheMisses = c.misses.Load()
+		resp.CacheEvictions = c.evictions.Load()
+		resp.CacheBuilds = c.builds.Load()
+		resp.Staircases = c.staircases()
+		resp.CacheBytes = c.bytes.Load()
+	}
+	writeJSON(rw, http.StatusOK, &resp)
 }
 
 func (s *Server) handleReload(rw http.ResponseWriter, req *http.Request) {
@@ -390,6 +417,22 @@ type libraryResponse struct {
 	Catalogs        []string `json:"catalogs"`
 	Workflows       []string `json:"workflows"`
 	Algorithms      []string `json:"algorithms"`
+}
+
+type statsResponse struct {
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	CacheEnabled    bool    `json:"cache_enabled"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEvictions  int64   `json:"cache_evictions"`
+	CacheBuilds     int64   `json:"cache_builds"`
+	Staircases      int     `json:"staircases"`
+	CacheBytes      int64   `json:"cache_bytes"`
+	QueueLen        int     `json:"queue_len"`
+	QueueDepth      int     `json:"queue_depth"`
+	Workers         int     `json:"workers"`
+	BusyWorkers     int     `json:"busy_workers"`
+	BusyFraction    float64 `json:"busy_fraction"`
 }
 
 type errorResponse struct {

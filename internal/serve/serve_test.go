@@ -237,7 +237,7 @@ func scheduleOnlyContainer(t *testing.T) []byte {
 // TestBackpressure fills the admission queue of a server whose workers
 // never started, so a request meets deterministic backpressure.
 func TestBackpressure(t *testing.T) {
-	snap, err := buildSnapshot(Library{}, 1)
+	snap, err := buildSnapshot(Library{}, 1, CacheConfig{}, intoSchedulers())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,9 @@ type Config struct {
 	// snapshot; the built-in "paper" catalog and "example" workflow are
 	// always present.
 	Library Library
+	// Cache configures the snapshot-scoped staircase cache (enabled by
+	// default; zero value means defaults).
+	Cache CacheConfig
 }
 
 // Server is the scheduling service. Create with New, serve via
@@ -51,11 +54,13 @@ type Config struct {
 type Server struct {
 	lib      Library
 	maxBatch int
+	cacheCfg CacheConfig
 
 	snap    atomic.Pointer[Snapshot]
 	queue   chan *job
 	workers []worker
 	algOK   map[string]bool
+	busy    atomic.Int64 // workers currently serving a batch (stats gauge)
 
 	jobs    sync.Pool
 	scratch sync.Pool
@@ -82,16 +87,18 @@ func New(cfg Config) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = 16
 	}
-	snap, err := buildSnapshot(cfg.Library, 1)
+	algOK := intoSchedulers()
+	snap, err := buildSnapshot(cfg.Library, 1, cfg.Cache, algOK)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		lib:      cfg.Library,
 		maxBatch: maxBatch,
+		cacheCfg: cfg.Cache,
 		queue:    make(chan *job, depth),
 		workers:  make([]worker, workers),
-		algOK:    intoSchedulers(),
+		algOK:    algOK,
 	}
 	s.snap.Store(snap)
 	s.jobs.New = func() any { return newJob() }
@@ -126,13 +133,13 @@ func (s *Server) Algorithms() []string { return sortedKeys(s.algOK) }
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Reload re-reads every library source, builds the next snapshot
-// version, and publishes it atomically. In-flight requests finish on
-// the snapshot they pinned at admission; a failed reload changes
-// nothing.
+// version (with a fresh empty staircase cache), and publishes it
+// atomically. In-flight requests finish on the snapshot — and the
+// cache — they pinned at admission; a failed reload changes nothing.
 func (s *Server) Reload() (*Snapshot, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	next, err := buildSnapshot(s.lib, s.snap.Load().Version+1)
+	next, err := buildSnapshot(s.lib, s.snap.Load().Version+1, s.cacheCfg, s.algOK)
 	if err != nil {
 		return nil, err
 	}
@@ -160,12 +167,14 @@ func (s *Server) Close() {
 //	                container, or query-only with library refs)
 //	GET  /healthz   liveness + snapshot version
 //	GET  /library   snapshot listing: catalogs, workflows, algorithms
+//	GET  /stats     cache hit/miss/eviction counters, queue and worker load
 //	POST /reload    rebuild the snapshot from the library sources
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", s.handleSchedule)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/library", s.handleLibrary)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/reload", s.handleReload)
 	return mux
 }

@@ -32,6 +32,11 @@ type Snapshot struct {
 
 	pairs map[pairKey]*pairEntry
 
+	// cache is the snapshot-scoped staircase cache (nil when disabled).
+	// It is born empty with the snapshot and dies with it: reloads carry
+	// no cache state forward, which is the entire invalidation story.
+	cache *scheduleCache
+
 	catNames, wfNames []string // sorted, for listings
 }
 
@@ -56,11 +61,12 @@ type Library struct {
 	Workflows map[string]string
 }
 
-// buildSnapshot loads every library source and prebuilds all
-// (workflow, catalog) pairs. Any unreadable or invalid source fails the
-// whole build — a reload either fully succeeds or leaves the previous
-// snapshot in place.
-func buildSnapshot(lib Library, version uint64) (*Snapshot, error) {
+// buildSnapshot loads every library source, prebuilds all
+// (workflow, catalog) pairs, and attaches a fresh empty staircase cache
+// (slots for every servable algorithm in algs, unless cc.Disable). Any
+// unreadable or invalid source fails the whole build — a reload either
+// fully succeeds or leaves the previous snapshot in place.
+func buildSnapshot(lib Library, version uint64, cc CacheConfig, algs map[string]bool) (*Snapshot, error) {
 	snap := &Snapshot{
 		Version:   version,
 		Catalogs:  map[string]cloud.Catalog{},
@@ -110,6 +116,9 @@ func buildSnapshot(lib Library, version uint64) (*Snapshot, error) {
 			cmin, cmax := m.BudgetRange(w)
 			snap.pairs[pairKey{wn, cn}] = &pairEntry{m: m, cmin: cmin, cmax: cmax}
 		}
+	}
+	if !cc.Disable {
+		snap.cache = newScheduleCache(snap, algs, cc)
 	}
 	return snap, nil
 }

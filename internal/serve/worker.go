@@ -6,6 +6,7 @@ import (
 	"medcc/internal/dag"
 	"medcc/internal/sched"
 	"medcc/internal/sim"
+	"medcc/internal/workflow"
 )
 
 // worker is the per-goroutine serving scratch: scheduler engines (one
@@ -39,17 +40,27 @@ type worker struct {
 // catalog bind: scheduler engines early-return their bind when the
 // (workflow, matrices, versions) tuple is unchanged, so a batch of
 // same-pair requests binds once and schedules many times.
+// A job that won its cache slot's singleflight latch additionally
+// triggers a staircase build — AFTER its done signal, so the requester
+// never waits on the sweep, and only from fields captured beforehand,
+// because the ack releases the job back to the frontend pool.
 func (s *Server) runWorker(k int) {
 	defer s.wg.Done()
 	w := &s.workers[k]
 	for j := range s.queue {
+		s.busy.Add(1)
 		w.batch = append(w.batch[:0], j)
 		w.gather(s.queue, s.maxBatch)
 		w.sortBatch()
 		for _, j := range w.batch {
 			j.err = w.serve(j)
+			br := captureBuild(j)
 			j.done <- struct{}{}
+			if br.slot != nil {
+				w.buildStaircase(br)
+			}
 		}
+		s.busy.Add(-1)
 	}
 }
 
@@ -155,8 +166,17 @@ func (w *worker) makespan(j *job) (float64, error) {
 	if err := j.w.ValidateSchedule(j.sched, len(j.m.Catalog)); err != nil {
 		return 0, err
 	}
-	w.times = j.m.TimesInto(j.sched, w.times)
-	g := j.w.Graph()
+	return w.evalMED(j.w, j.m, j.sched)
+}
+
+// evalMED is the pooled-timing MED evaluation shared by the direct
+// request path (makespan) and the staircase freeze — one code path, so
+// cached MEDs are bit-identical to direct responses by construction.
+//
+// medcc:allocfree
+func (w *worker) evalMED(wf *workflow.Workflow, m *workflow.Matrices, s workflow.Schedule) (float64, error) {
+	w.times = m.TimesInto(s, w.times)
+	g := wf.Graph()
 	if w.t == nil || w.tg != g || w.tver != g.Version() {
 		return w.freshTiming(g)
 	}

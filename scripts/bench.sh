@@ -19,7 +19,7 @@ set -eu
 cd "$(dirname "$0")/.."
 COUNT="${COUNT:-5}"
 PATTERN="${PATTERN:-.}"
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 TMP=".bench.raw.$$"
 trap 'rm -f "$TMP"' EXIT INT TERM
 

@@ -25,7 +25,7 @@
 # or retiring benchmarks never breaks the check.
 set -eu
 cd "$(dirname "$0")/.."
-BASE="${1:-BENCH_7.json}"
+BASE="${1:-BENCH_8.json}"
 CAND="${2:-.bench.candidate.json}"
 MAX="${MAX_REGRESSION_PCT:-25}"
 MAXALLOC="${MAX_ALLOC_DELTA:-0}"

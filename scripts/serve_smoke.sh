@@ -2,7 +2,10 @@
 # End-to-end smoke of the serving stack: build the daemon and the load
 # generator (race-instrumented), generate a small corpus, boot
 # medcc-serve on an ephemeral port, push requests through it with
-# medcc-load, and require a clean report plus a clean shutdown.
+# medcc-load, and require a clean report plus a clean shutdown. A second
+# phase drives the staircase cache with query-only ref traffic on grid
+# budgets, reloads the snapshot mid-run under that load, and requires
+# cache hits from GET /stats afterwards.
 #
 # Usage: scripts/serve_smoke.sh
 #
@@ -49,6 +52,27 @@ done
 # A reload mid-life must succeed and keep serving.
 curl -sf -X POST "http://127.0.0.1:$PORT/reload" > /dev/null
 "$TMP/medcc-load" -url "http://127.0.0.1:$PORT" -corpus "$TMP/corpus.medc" -n 20 -c 2 > /dev/null
+
+# Cached phase: query-only ref traffic on dyadic grid budgets exercises
+# the staircase cache; a reload mid-run swaps the snapshot (and its
+# cache) under concurrent cached load, which the race detector watches.
+"$TMP/medcc-load" -url "http://127.0.0.1:$PORT" -refs -budget-dist grid -keys zipf \
+	-n "$N" -c "$C" > "$TMP/cached1.out" &
+LOAD_PID=$!
+sleep 0.1
+curl -sf -X POST "http://127.0.0.1:$PORT/reload" > /dev/null
+wait "$LOAD_PID"
+cat "$TMP/cached1.out"
+
+# A warm follow-up run against the reloaded snapshot must mostly hit.
+"$TMP/medcc-load" -url "http://127.0.0.1:$PORT" -refs -budget-dist grid \
+	-n "$N" -c "$C" -json > "$TMP/cached2.json"
+grep -q '"stats_ok":true' "$TMP/cached2.json" || {
+	echo "serve_smoke: /stats missing from cached run" >&2; exit 1; }
+grep -q '"cache_hits":0,' "$TMP/cached2.json" && {
+	echo "serve_smoke: warm grid run produced no cache hits" >&2
+	cat "$TMP/cached2.json" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/stats" > /dev/null
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
